@@ -1,0 +1,25 @@
+//! # dts-analysis
+//!
+//! Experiment harness for the paper's evaluation section:
+//!
+//! * [`stats`] — descriptive statistics (median, quartiles, whiskers,
+//!   outliers) matching the box plots of Figs. 9 and 11;
+//! * [`sweep`] — the memory-capacity sweep (`mc` to `2·mc` in steps of
+//!   `0.125·mc`) and the per-trace, per-heuristic ratio-to-optimal runs;
+//! * [`experiment`] — end-to-end experiments over trace suites, including
+//!   the best-variant-per-category curves (Figs. 10, 12), the batched
+//!   variant (Fig. 13) and the `lp.k` comparison (Fig. 7);
+//! * [`report`] — CSV and Markdown rendering of experiment results.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+pub use experiment::{
+    best_variant_experiment, heuristic_experiment, lp_comparison_experiment, ExperimentRow,
+};
+pub use stats::BoxplotStats;
+pub use sweep::{capacity_factors, run_trace_sweep, SweepConfig, SweepRow};

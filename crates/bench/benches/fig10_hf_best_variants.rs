@@ -1,0 +1,22 @@
+//! Fig. 10: best variant of each heuristic category on the HF traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_bench::{bench_traces, run_best_variant_experiment};
+use dts_chem::Kernel;
+use dts_heuristics::{best_in_category, HeuristicCategory};
+
+fn bench(c: &mut Criterion) {
+    run_best_variant_experiment(Kernel::HartreeFock, false);
+    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let instance = trace.to_instance_scaled(1.5).unwrap();
+    c.bench_function("fig10/best_static_dynamic_hf", |b| {
+        b.iter(|| best_in_category(&instance, HeuristicCategory::StaticDynamic).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

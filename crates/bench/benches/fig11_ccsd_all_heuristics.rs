@@ -1,0 +1,23 @@
+//! Fig. 11: every heuristic on the CCSD traces across the memory-capacity
+//! sweep (distributions of the ratio to optimal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_bench::{bench_traces, run_all_heuristics_experiment};
+use dts_chem::Kernel;
+use dts_heuristics::{run_heuristic, Heuristic};
+
+fn bench(c: &mut Criterion) {
+    run_all_heuristics_experiment(Kernel::Ccsd, false);
+    let trace = bench_traces(Kernel::Ccsd).into_iter().next().unwrap();
+    let instance = trace.to_instance_scaled(1.25).unwrap();
+    c.bench_function("fig11/oolcmr_one_ccsd_trace", |b| {
+        b.iter(|| run_heuristic(&instance, Heuristic::OOLCMR).unwrap().makespan(&instance))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 13: heuristics applied in batches of 100 tasks (the scheduler only
+//! sees a limited window of independent tasks), best variant per category.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_bench::{bench_traces, run_best_variant_experiment};
+use dts_chem::Kernel;
+use dts_heuristics::batch::{run_heuristic_batched, BatchConfig};
+use dts_heuristics::Heuristic;
+
+fn bench(c: &mut Criterion) {
+    run_best_variant_experiment(Kernel::HartreeFock, true);
+    run_best_variant_experiment(Kernel::Ccsd, true);
+    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let instance = trace.to_instance_scaled(1.5).unwrap();
+    c.bench_function("fig13/oolcmr_batched_hf", |b| {
+        b.iter(|| {
+            run_heuristic_batched(&instance, Heuristic::OOLCMR, BatchConfig { batch_size: 100 })
+                .unwrap()
+                .makespan(&instance)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

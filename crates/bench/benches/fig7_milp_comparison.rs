@@ -1,0 +1,46 @@
+//! Fig. 7: the proposed heuristics against the iterative MILP heuristic
+//! lp.k (k = 3..6) on a single HF trace across memory capacities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_analysis::experiment::lp_comparison_experiment;
+use dts_bench::bench_traces;
+use dts_chem::Kernel;
+use dts_heuristics::Heuristic;
+use dts_milp::{lp_k, LpKConfig};
+
+fn report() {
+    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    println!(
+        "Fig. 7 — single HF trace (rank {}, {} tasks, mc = {})",
+        trace.rank,
+        trace.len(),
+        trace.min_capacity()
+    );
+    let series = lp_comparison_experiment(
+        &trace,
+        &[1.0, 1.25, 1.5, 1.75, 2.0],
+        &[Heuristic::OS, Heuristic::OOSIM, Heuristic::SCMR, Heuristic::OOLCMR, Heuristic::OOSCMR],
+    )
+    .unwrap();
+    println!("| series | factor | ratio to optimal |");
+    println!("|---|---|---|");
+    for (label, factor, ratio) in series {
+        println!("| {label} | {factor:.3} | {ratio:.4} |");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let instance = trace.to_instance_scaled(1.5).unwrap();
+    c.bench_function("fig7/lp4_single_hf_trace", |b| {
+        b.iter(|| lp_k(&instance, LpKConfig { window: 4 }).unwrap().makespan(&instance))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 8: workload characteristics of the HF and CCSD traces (sum of
+//! communication, sum of computation, max and sum — ratios to OMIM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_bench::{bench_traces, run_characterization};
+use dts_chem::{characterize, Kernel};
+
+fn report() {
+    run_characterization(Kernel::HartreeFock);
+    run_characterization(Kernel::Ccsd);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let trace = bench_traces(Kernel::Ccsd).into_iter().next().unwrap();
+    c.bench_function("fig8/characterize_ccsd_trace", |b| {
+        b.iter(|| characterize(&trace).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1 / Theorem 2: the 3-Partition → DT reduction. Builds reduced
+//! instances, constructs the tight schedule from a known partition and
+//! verifies the target makespan is met exactly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_flowshop::reduction::{three_partition_to_dt, ThreePartitionInstance};
+
+fn report() {
+    let input = ThreePartitionInstance::new(vec![5, 4, 3, 6, 4, 2]).unwrap();
+    let reduced = three_partition_to_dt(&input);
+    println!("Table 1 — reduction from 3-Partition (m = {}, b = {}, x = {})", input.m(), input.target(), input.max_value());
+    println!("  tasks: {}   capacity: {}   target makespan L: {}", reduced.instance.len(), reduced.instance.capacity(), reduced.target_makespan);
+    let triplets = input.solve().unwrap();
+    let schedule = reduced.schedule_from_partition(&triplets);
+    println!("  schedule built from the partition has makespan {} (feasible: {})",
+        schedule.makespan(&reduced.instance),
+        dts_core::feasibility::is_feasible(&reduced.instance, &schedule));
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let input = ThreePartitionInstance::new(vec![5, 4, 3, 6, 4, 2, 7, 3, 2, 5, 4, 3]).unwrap();
+    c.bench_function("table1/reduction_and_solve_m4", |b| {
+        b.iter(|| {
+            let reduced = three_partition_to_dt(&input);
+            let triplets = input.solve().unwrap();
+            reduced.schedule_from_partition(&triplets).makespan(&reduced.instance)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

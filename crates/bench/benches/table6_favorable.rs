@@ -1,0 +1,36 @@
+//! Table 6: favorable situations per heuristic category — mean ratio of the
+//! best variant of each category as the memory capacity grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_analysis::experiment::category_means;
+use dts_bench::{bench_traces, quick_factors};
+use dts_chem::Kernel;
+use dts_heuristics::{best_in_category, HeuristicCategory};
+
+fn report() {
+    for kernel in [Kernel::HartreeFock, Kernel::Ccsd] {
+        let traces = bench_traces(kernel);
+        let means = category_means(&traces, &quick_factors()).unwrap();
+        println!("Table 6 — {} mean ratio of each category by capacity factor", kernel.name());
+        for (factor, labels) in means {
+            let line: Vec<String> = labels.iter().map(|(l, m)| format!("{l}={m:.4}")).collect();
+            println!("  {factor:.3} x mc: {}", line.join("  "));
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let trace = bench_traces(Kernel::Ccsd).into_iter().next().unwrap();
+    let instance = trace.to_instance_scaled(1.25).unwrap();
+    c.bench_function("table6/best_dynamic_ccsd", |b| {
+        b.iter(|| best_in_category(&instance, HeuristicCategory::Dynamic).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Trace model and (de)serialization.
+//!
+//! A *trace* is the per-process list of independent tasks the runtime
+//! scheduler sees: for every task, the time of its input-data transfer, the
+//! time of its computation and the memory its input data occupies. This is
+//! exactly the information the paper extracts from its NWChem runs.
+
+use dts_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Kind of tensor work a trace task performs (informational; the scheduling
+/// heuristics only look at times and memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Tensor contraction (block matrix multiplication).
+    Contraction,
+    /// Tensor transpose (index permutation).
+    Transpose,
+    /// Contraction preceded by one or more transposes of its operands.
+    FusedTransposeContraction,
+}
+
+/// One task of a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceTask {
+    /// Task label (kernel and tile indices).
+    pub name: String,
+    /// What the task computes.
+    pub kind: TaskKind,
+    /// Input-data transfer time in microseconds.
+    pub comm_micros: u64,
+    /// Computation time in microseconds.
+    pub comp_micros: u64,
+    /// Memory occupied by the input data, in bytes.
+    pub mem_bytes: u64,
+}
+
+/// A per-process trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Kernel that produced the trace (`"HF"` or `"CCSD"`).
+    pub kernel: String,
+    /// Process rank (0..149 in the paper's setup).
+    pub rank: usize,
+    /// The independent tasks seen by this process.
+    pub tasks: Vec<TraceTask>,
+}
+
+impl Trace {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff the trace has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Minimum memory capacity `mc` needed to execute every task (the
+    /// largest single-task memory requirement).
+    pub fn min_capacity(&self) -> MemSize {
+        MemSize::from_bytes(self.tasks.iter().map(|t| t.mem_bytes).max().unwrap_or(0))
+    }
+
+    /// Converts the trace into a scheduling [`Instance`] with the given
+    /// memory capacity.
+    pub fn to_instance(&self, capacity: MemSize) -> Result<Instance> {
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| {
+                Task::new(
+                    t.name.clone(),
+                    Time::from_micros(t.comm_micros),
+                    Time::from_micros(t.comp_micros),
+                    MemSize::from_bytes(t.mem_bytes),
+                )
+            })
+            .collect();
+        Instance::with_label(tasks, capacity, format!("{}-rank{}", self.kernel, self.rank))
+    }
+
+    /// Converts the trace into an instance whose capacity is `factor · mc`
+    /// (the sweep axis of Figs. 9–13).
+    pub fn to_instance_scaled(&self, factor: f64) -> Result<Instance> {
+        self.to_instance(self.min_capacity().scale(factor))
+    }
+
+    /// Serializes the trace to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+
+    /// Deserializes a trace from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+
+    /// Writes the trace as JSON to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| CoreError::Serialization(e.to_string()))?;
+        file.write_all(self.to_json()?.as_bytes())
+            .map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+
+    /// Reads a trace from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let mut file =
+            std::fs::File::open(path).map_err(|e| CoreError::Serialization(e.to_string()))?;
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)
+            .map_err(|e| CoreError::Serialization(e.to_string()))?;
+        Self::from_json(&contents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            kernel: "HF".into(),
+            rank: 3,
+            tasks: vec![
+                TraceTask {
+                    name: "fock(0,1)".into(),
+                    kind: TaskKind::FusedTransposeContraction,
+                    comm_micros: 110,
+                    comp_micros: 30,
+                    mem_bytes: 160_000,
+                },
+                TraceTask {
+                    name: "fock(0,2)".into(),
+                    kind: TaskKind::Contraction,
+                    comm_micros: 95,
+                    comp_micros: 25,
+                    mem_bytes: 176_128,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn min_capacity_is_largest_task() {
+        assert_eq!(sample().min_capacity(), MemSize::from_bytes(176_128));
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+    }
+
+    #[test]
+    fn conversion_to_instance_preserves_times() {
+        let trace = sample();
+        let inst = trace.to_instance(MemSize::from_bytes(400_000)).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.task(TaskId(0)).comm_time, Time::from_micros(110));
+        assert_eq!(inst.task(TaskId(1)).comp_time, Time::from_micros(25));
+        assert_eq!(inst.task(TaskId(1)).mem, MemSize::from_bytes(176_128));
+        assert_eq!(inst.label, "HF-rank3");
+    }
+
+    #[test]
+    fn scaled_instance_uses_mc_multiples() {
+        let trace = sample();
+        let inst = trace.to_instance_scaled(1.5).unwrap();
+        assert_eq!(inst.capacity(), MemSize::from_bytes(264_192));
+        // Factor 1.0 is exactly feasible.
+        assert!(trace.to_instance_scaled(1.0).is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = sample();
+        let json = trace.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = sample();
+        let dir = std::env::temp_dir().join("dts-chem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-rank3.json");
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+        assert!(Trace::load(dir.join("missing.json")).is_err());
+    }
+}

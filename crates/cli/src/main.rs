@@ -1,0 +1,180 @@
+//! `dts` — command-line interface for the transfer-sched workspace.
+//!
+//! Subcommands:
+//!
+//! * `dts generate <hf|ccsd> <dir> [n_ranks]` — generate a trace suite and
+//!   write one JSON trace file per rank;
+//! * `dts characterize <trace.json>` — print the Fig. 8 workload
+//!   characterization of a trace;
+//! * `dts run <trace.json> <heuristic> [factor]` — run one heuristic on a
+//!   trace at a memory capacity of `factor · mc` and print the result;
+//! * `dts sweep <trace.json>` — run every heuristic across the paper's
+//!   capacity sweep and print CSV rows;
+//! * `dts demo` — print the Gantt charts of the paper's Table 3–5 examples.
+
+use dts_analysis::report::sweep_to_csv;
+use dts_analysis::sweep::{capacity_factors, run_trace_sweep, SweepConfig};
+use dts_chem::suite::{generate_partial_suite, SuiteConfig};
+use dts_chem::{characterize, Kernel, Trace};
+use dts_core::gantt;
+use dts_core::metrics::ScheduleMetrics;
+use dts_flowshop::johnson::johnson_makespan;
+use dts_heuristics::{run_heuristic, Heuristic};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: dts <command>\n\
+                 \n\
+                 commands:\n\
+                 \x20 generate <hf|ccsd> <dir> [n_ranks]   generate a trace suite as JSON files\n\
+                 \x20 characterize <trace.json>             print the workload characterization\n\
+                 \x20 run <trace.json> <heuristic> [factor] run one heuristic at factor x mc\n\
+                 \x20 sweep <trace.json>                    run all heuristics across the capacity sweep (CSV)\n\
+                 \x20 demo                                  print the paper's example schedules"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let kernel = match args.first().map(String::as_str) {
+        Some("hf") => Kernel::HartreeFock,
+        Some("ccsd") => Kernel::Ccsd,
+        _ => return Err("expected kernel 'hf' or 'ccsd'".into()),
+    };
+    let dir = args.get(1).ok_or("expected an output directory")?;
+    let n_ranks: usize = args
+        .get(2)
+        .map(|s| s.parse().map_err(|_| "n_ranks must be an integer"))
+        .transpose()?
+        .unwrap_or(6);
+    let mut config = SuiteConfig::small();
+    if n_ranks > config.topology.n_processes() {
+        config = SuiteConfig::default();
+    }
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let traces = generate_partial_suite(kernel, &config, n_ranks);
+    for trace in &traces {
+        let path = format!(
+            "{dir}/{}-rank{:03}.json",
+            kernel.name().to_lowercase(),
+            trace.rank
+        );
+        trace.save(&path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {path} ({} tasks, mc = {})",
+            trace.len(),
+            trace.min_capacity()
+        );
+    }
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    Trace::load(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let trace = load_trace(path)?;
+    let c = characterize(&trace).map_err(|e| e.to_string())?;
+    println!("kernel             {}", trace.kernel);
+    println!("rank               {}", trace.rank);
+    println!("tasks              {}", c.n_tasks);
+    println!("OMIM               {} us", c.omim.ticks());
+    println!("sum comm / OMIM    {:.4}", c.sum_comm_ratio);
+    println!("sum comp / OMIM    {:.4}", c.sum_comp_ratio);
+    println!("max / OMIM         {:.4}", c.max_ratio);
+    println!("sum / OMIM         {:.4}", c.sum_ratio);
+    println!("max overlap gain   {:.1} %", 100.0 * c.max_overlap_gain());
+    println!("mc                 {}", c.min_capacity);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let heuristic_name = args.get(1).ok_or("expected a heuristic name")?;
+    let factor: f64 = args
+        .get(2)
+        .map(|s| s.parse().map_err(|_| "factor must be a number"))
+        .transpose()?
+        .unwrap_or(1.5);
+    let heuristic = Heuristic::from_name(heuristic_name)
+        .ok_or_else(|| format!("unknown heuristic '{heuristic_name}'"))?;
+    let trace = load_trace(path)?;
+    let instance = trace
+        .to_instance_scaled(factor)
+        .map_err(|e| e.to_string())?;
+    let omim = johnson_makespan(&instance);
+    let schedule = run_heuristic(&instance, heuristic).map_err(|e| e.to_string())?;
+    let makespan = schedule.makespan(&instance);
+    println!("heuristic          {heuristic}");
+    println!("capacity           {} ({}x mc)", instance.capacity(), factor);
+    println!("makespan           {} us", makespan.ticks());
+    println!("OMIM               {} us", omim.ticks());
+    println!("ratio to optimal   {:.4}", makespan.ratio(omim));
+    let metrics = ScheduleMetrics::of(&instance, &schedule);
+    println!(
+        "overlap fraction   {:.1} %",
+        100.0 * metrics.overlap_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let trace = load_trace(path)?;
+    let config = SweepConfig {
+        heuristics: Heuristic::ALL.to_vec(),
+        factors: capacity_factors(),
+    };
+    let rows = run_trace_sweep(&trace, &config).map_err(|e| e.to_string())?;
+    print!("{}", sweep_to_csv(&rows));
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    for (label, instance) in [
+        ("Table 3 (capacity 6)", dts_core::instances::table3()),
+        ("Table 4 (capacity 6)", dts_core::instances::table4()),
+        ("Table 5 (capacity 9)", dts_core::instances::table5()),
+    ] {
+        println!("== {label} ==");
+        let omim = johnson_makespan(&instance);
+        for heuristic in [Heuristic::OOSIM, Heuristic::MAMR, Heuristic::OOLCMR] {
+            let schedule = run_heuristic(&instance, heuristic).map_err(|e| e.to_string())?;
+            println!(
+                "{} — makespan {} (OMIM {}):\n{}",
+                heuristic,
+                schedule.makespan(&instance),
+                omim,
+                gantt::render(
+                    &instance,
+                    &schedule,
+                    gantt::GanttOptions {
+                        width: 60,
+                        with_table: false
+                    }
+                )
+            );
+        }
+    }
+    Ok(())
+}

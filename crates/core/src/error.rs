@@ -1,0 +1,77 @@
+//! Error types shared across the workspace.
+
+use crate::task::TaskId;
+use std::fmt;
+
+/// Result alias with [`CoreError`].
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by instance construction and schedule manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The instance has no tasks.
+    EmptyInstance,
+    /// A task requires more memory than the instance capacity; no feasible
+    /// schedule can exist.
+    TaskExceedsCapacity {
+        /// Offending task.
+        task: TaskId,
+        /// Name of the offending task.
+        name: String,
+    },
+    /// A task id referenced by a schedule or sequence is out of range.
+    UnknownTask(TaskId),
+    /// A sequence or schedule does not contain every task exactly once.
+    NotAPermutation {
+        /// Number of tasks in the instance.
+        expected: usize,
+        /// Number of entries supplied.
+        got: usize,
+    },
+    /// A schedule was found infeasible; the message summarizes the first
+    /// violation.
+    Infeasible(String),
+    /// An I/O or serialization problem (message only, to stay `Eq`).
+    Serialization(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyInstance => write!(f, "instance contains no tasks"),
+            CoreError::TaskExceedsCapacity { task, name } => write!(
+                f,
+                "task {task} ({name}) requires more memory than the capacity; instance is infeasible"
+            ),
+            CoreError::UnknownTask(id) => write!(f, "unknown task id {id}"),
+            CoreError::NotAPermutation { expected, got } => write!(
+                f,
+                "sequence must contain every task exactly once (expected {expected} tasks, got {got})"
+            ),
+            CoreError::Infeasible(msg) => write!(f, "infeasible schedule: {msg}"),
+            CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = CoreError::TaskExceedsCapacity {
+            task: TaskId(3),
+            name: "C".into(),
+        };
+        assert!(e.to_string().contains("T3"));
+        assert!(CoreError::EmptyInstance.to_string().contains("no tasks"));
+        let e = CoreError::NotAPermutation {
+            expected: 5,
+            got: 4,
+        };
+        assert!(e.to_string().contains("expected 5"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Problem instances: a set of tasks plus a memory capacity.
+
+use crate::error::{CoreError, Result};
+use crate::memory::MemSize;
+use crate::task::{Task, TaskId, TaskIntensity};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// An instance of problem `DT`: independent tasks, a single communication
+/// link, a single processing unit and a local memory of capacity
+/// [`capacity`](Instance::capacity).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    tasks: Vec<Task>,
+    capacity: MemSize,
+    /// Optional label (trace file name, table number, ...).
+    pub label: String,
+}
+
+impl Instance {
+    /// Creates an instance, validating that it is non-empty and that every
+    /// task individually fits in the capacity (otherwise no schedule exists).
+    pub fn new(tasks: Vec<Task>, capacity: MemSize) -> Result<Self> {
+        Self::with_label(tasks, capacity, String::new())
+    }
+
+    /// [`Instance::new`] with an explicit label.
+    pub fn with_label(tasks: Vec<Task>, capacity: MemSize, label: String) -> Result<Self> {
+        if tasks.is_empty() {
+            return Err(CoreError::EmptyInstance);
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            if t.mem > capacity {
+                return Err(CoreError::TaskExceedsCapacity {
+                    task: TaskId(i),
+                    name: t.name.clone(),
+                });
+            }
+        }
+        Ok(Instance {
+            tasks,
+            capacity,
+            label,
+        })
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff the instance has no tasks (never true for constructed
+    /// instances; kept for the conventional `len`/`is_empty` pair).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Memory capacity `C` of the target node.
+    #[inline]
+    pub fn capacity(&self) -> MemSize {
+        self.capacity
+    }
+
+    /// All tasks, indexable by [`TaskId`].
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range; ids are only produced by this
+    /// instance, so an out-of-range id is a logic error.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Fallible lookup of a task.
+    pub fn get_task(&self, id: TaskId) -> Result<&Task> {
+        self.tasks.get(id.0).ok_or(CoreError::UnknownTask(id))
+    }
+
+    /// Iterator over `(TaskId, &Task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// All task ids, in index order (this is the paper's *order of
+    /// submission*, `OS`).
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        (0..self.tasks.len()).map(TaskId).collect()
+    }
+
+    /// Returns a copy of this instance with a different memory capacity.
+    /// Used by capacity sweeps (`mc`, `1.125·mc`, ..., `2·mc`).
+    pub fn with_capacity(&self, capacity: MemSize) -> Result<Self> {
+        Instance::with_label(self.tasks.clone(), capacity, self.label.clone())
+    }
+
+    /// Returns the sub-instance made of the given tasks (used for batched
+    /// scheduling, Section 6.3 of the paper). Task ids in the returned
+    /// instance are renumbered `0..batch.len()`; the mapping back to the
+    /// original ids is the order of `batch`.
+    pub fn sub_instance(&self, batch: &[TaskId]) -> Result<Self> {
+        let mut tasks = Vec::with_capacity(batch.len());
+        for id in batch {
+            tasks.push(self.get_task(*id)?.clone());
+        }
+        Instance::with_label(tasks, self.capacity, self.label.clone())
+    }
+
+    /// Minimum memory capacity `mc` required to run every task: the largest
+    /// single-task memory requirement (tasks can always be run one at a
+    /// time).
+    pub fn min_capacity(&self) -> MemSize {
+        self.tasks
+            .iter()
+            .map(|t| t.mem)
+            .max()
+            .unwrap_or(MemSize::ZERO)
+    }
+
+    /// Aggregate workload statistics (Fig. 8 of the paper).
+    pub fn stats(&self) -> InstanceStats {
+        let sum_comm: Time = self.tasks.iter().map(|t| t.comm_time).sum();
+        let sum_comp: Time = self.tasks.iter().map(|t| t.comp_time).sum();
+        let total_mem: MemSize = self.tasks.iter().map(|t| t.mem).sum();
+        let compute_intensive = self
+            .tasks
+            .iter()
+            .filter(|t| t.intensity() == TaskIntensity::ComputeIntensive)
+            .count();
+        InstanceStats {
+            n_tasks: self.tasks.len(),
+            sum_comm,
+            sum_comp,
+            max_comm: self
+                .tasks
+                .iter()
+                .map(|t| t.comm_time)
+                .max()
+                .unwrap_or(Time::ZERO),
+            max_comp: self
+                .tasks
+                .iter()
+                .map(|t| t.comp_time)
+                .max()
+                .unwrap_or(Time::ZERO),
+            min_capacity: self.min_capacity(),
+            total_mem,
+            compute_intensive,
+            communication_intensive: self.tasks.len() - compute_intensive,
+        }
+    }
+}
+
+/// Aggregate characteristics of an instance, matching the quantities plotted
+/// in Fig. 8 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Total communication time (lower bound on link busy time).
+    pub sum_comm: Time,
+    /// Total computation time (lower bound on CPU busy time).
+    pub sum_comp: Time,
+    /// Largest single communication time.
+    pub max_comm: Time,
+    /// Largest single computation time.
+    pub max_comp: Time,
+    /// Minimum feasible capacity `mc` (largest single-task memory).
+    pub min_capacity: MemSize,
+    /// Sum of all task memory requirements.
+    pub total_mem: MemSize,
+    /// Number of compute-intensive tasks (`CP >= CM`).
+    pub compute_intensive: usize,
+    /// Number of communication-intensive tasks (`CP < CM`).
+    pub communication_intensive: usize,
+}
+
+impl InstanceStats {
+    /// `max(sum_comm, sum_comp)` — a lower bound on any makespan.
+    pub fn resource_lower_bound(&self) -> Time {
+        self.sum_comm.max(self.sum_comp)
+    }
+
+    /// `sum_comm + sum_comp` — the makespan of the fully sequential schedule
+    /// with zero overlap (an upper bound for reasonable schedules).
+    pub fn sequential_upper_bound(&self) -> Time {
+        self.sum_comm + self.sum_comp
+    }
+
+    /// Fraction of tasks that are compute intensive.
+    pub fn compute_intensive_fraction(&self) -> f64 {
+        if self.n_tasks == 0 {
+            0.0
+        } else {
+            self.compute_intensive as f64 / self.n_tasks as f64
+        }
+    }
+}
+
+/// Fluent builder for [`Instance`].
+///
+/// ```
+/// use dts_core::prelude::*;
+///
+/// let instance = InstanceBuilder::new()
+///     .capacity(MemSize::from_bytes(6))
+///     .task_units("A", 3.0, 2.0, 3)
+///     .task_units("B", 1.0, 3.0, 1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(instance.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    tasks: Vec<Task>,
+    capacity: Option<MemSize>,
+    label: String,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the memory capacity. Defaults to [`MemSize::UNBOUNDED`].
+    pub fn capacity(mut self, capacity: MemSize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the instance label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Adds an already-built task.
+    pub fn task(mut self, task: Task) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Adds a task given in the paper's example convention (times in units,
+    /// memory in bytes equal to the communication volume).
+    pub fn task_units(self, name: &str, comm: f64, comp: f64, mem_bytes: u64) -> Self {
+        self.task(Task::from_units(name, comm, comp, mem_bytes))
+    }
+
+    /// Adds many tasks at once.
+    pub fn tasks(mut self, tasks: impl IntoIterator<Item = Task>) -> Self {
+        self.tasks.extend(tasks);
+        self
+    }
+
+    /// Builds the instance.
+    pub fn build(self) -> Result<Instance> {
+        Instance::with_label(
+            self.tasks,
+            self.capacity.unwrap_or(MemSize::UNBOUNDED),
+            self.label,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        InstanceBuilder::new()
+            .capacity(MemSize::from_bytes(6))
+            .label("table3")
+            .task_units("A", 3.0, 2.0, 3)
+            .task_units("B", 1.0, 3.0, 1)
+            .task_units("C", 4.0, 4.0, 4)
+            .task_units("D", 2.0, 1.0, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_builds() {
+        let inst = sample();
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.capacity(), MemSize::from_bytes(6));
+        assert_eq!(inst.label, "table3");
+        assert_eq!(inst.task(TaskId(2)).name, "C");
+        assert_eq!(inst.task_ids().len(), 4);
+    }
+
+    #[test]
+    fn empty_instance_rejected() {
+        let err = InstanceBuilder::new().build().unwrap_err();
+        assert_eq!(err, CoreError::EmptyInstance);
+    }
+
+    #[test]
+    fn oversized_task_rejected() {
+        let err = InstanceBuilder::new()
+            .capacity(MemSize::from_bytes(2))
+            .task_units("big", 5.0, 1.0, 5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TaskExceedsCapacity { .. }));
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let stats = sample().stats();
+        assert_eq!(stats.n_tasks, 4);
+        assert_eq!(stats.sum_comm, Time::units_int(10));
+        assert_eq!(stats.sum_comp, Time::units_int(10));
+        assert_eq!(stats.max_comm, Time::units_int(4));
+        assert_eq!(stats.max_comp, Time::units_int(4));
+        assert_eq!(stats.min_capacity, MemSize::from_bytes(4));
+        assert_eq!(stats.total_mem, MemSize::from_bytes(10));
+        assert_eq!(stats.compute_intensive, 2); // B and C
+        assert_eq!(stats.communication_intensive, 2); // A and D
+        assert_eq!(stats.resource_lower_bound(), Time::units_int(10));
+        assert_eq!(stats.sequential_upper_bound(), Time::units_int(20));
+        assert!((stats.compute_intensive_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_capacity_rescales() {
+        let inst = sample();
+        let bigger = inst.with_capacity(MemSize::from_bytes(12)).unwrap();
+        assert_eq!(bigger.capacity(), MemSize::from_bytes(12));
+        assert_eq!(bigger.len(), inst.len());
+        // Shrinking below the largest task is rejected.
+        assert!(inst.with_capacity(MemSize::from_bytes(3)).is_err());
+    }
+
+    #[test]
+    fn sub_instance_renumbers() {
+        let inst = sample();
+        let sub = inst.sub_instance(&[TaskId(2), TaskId(0)]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.task(TaskId(0)).name, "C");
+        assert_eq!(sub.task(TaskId(1)).name, "A");
+        assert!(inst.sub_instance(&[TaskId(9)]).is_err());
+    }
+
+    #[test]
+    fn min_capacity_is_largest_task() {
+        let inst = sample();
+        assert_eq!(inst.min_capacity(), MemSize::from_bytes(4));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let inst = sample();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

@@ -1,0 +1,65 @@
+//! # dts-core
+//!
+//! Core data model for the *data-transfer ordering* problem (problem `DT` in
+//! Kumar, Eyraud-Dubois & Krishnamoorthy, *Performance Models for Data
+//! Transfers: A Case Study with Molecular Chemistry Kernels*, ICPP 2019).
+//!
+//! A set of independent tasks is executed on a processing unit `P` with local
+//! memory `M` of capacity `C`. Each task's input data initially lives on a
+//! remote memory node `M'` and has to be moved over a single communication
+//! link before the computation can start. A task holds its memory from the
+//! **start of its communication** until the **end of its computation**. The
+//! objective is to order the transfers (and computations) so that
+//! communication is overlapped with computation and the makespan is
+//! minimized.
+//!
+//! This crate provides:
+//!
+//! * [`Time`] / [`MemSize`] — fixed-point time and byte quantities,
+//! * [`Task`], [`Instance`] — the problem input,
+//! * [`Schedule`] — a complete solution (per-task communication and
+//!   computation start times),
+//! * [`feasibility`] — the feasibility checker for schedules (link and CPU
+//!   exclusivity, precedence, memory envelope),
+//! * [`memory`] — memory-occupation profiles,
+//! * [`simulate`] — the event-driven executors used by all heuristics
+//!   (same-order execution under a memory capacity, and the infinite-memory
+//!   executor),
+//! * [`metrics`] — makespan, idle-time and overlap metrics,
+//! * [`gantt`] — ASCII Gantt rendering of schedules,
+//! * [`instances`] — the example instances of Tables 2–5 of the paper and
+//!   random-instance generators used by tests and benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod feasibility;
+pub mod gantt;
+pub mod instance;
+pub mod instances;
+pub mod memory;
+pub mod metrics;
+pub mod schedule;
+pub mod simulate;
+pub mod task;
+pub mod time;
+
+pub use error::{CoreError, Result};
+pub use instance::{Instance, InstanceBuilder, InstanceStats};
+pub use memory::MemSize;
+pub use schedule::{Schedule, ScheduleEntry};
+pub use task::{Task, TaskId, TaskIntensity};
+pub use time::Time;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use crate::error::{CoreError, Result};
+    pub use crate::feasibility::{validate, Violation};
+    pub use crate::instance::{Instance, InstanceBuilder, InstanceStats};
+    pub use crate::memory::MemSize;
+    pub use crate::metrics::ScheduleMetrics;
+    pub use crate::schedule::{Schedule, ScheduleEntry};
+    pub use crate::simulate::{simulate_sequence, simulate_sequence_infinite};
+    pub use crate::task::{Task, TaskId, TaskIntensity};
+    pub use crate::time::Time;
+}

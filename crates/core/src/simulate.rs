@@ -1,0 +1,274 @@
+//! Event-driven executors.
+//!
+//! The heuristics of the paper (except the MILP) all produce a *sequence* of
+//! tasks which is then executed in the same order on the communication link
+//! and on the processing unit. This module contains the two executors that
+//! turn a sequence into a concrete [`Schedule`]:
+//!
+//! * [`simulate_sequence_infinite`] ignores the memory capacity; with the
+//!   Johnson order it produces the `OMIM` lower bound (Algorithm 1 of the
+//!   paper);
+//! * [`simulate_sequence`] enforces the memory capacity: a task's
+//!   communication is delayed until enough previously-acquired memory has
+//!   been released by finished computations. This is the executor used by
+//!   all the static heuristics of Section 4.1.
+
+use crate::error::{CoreError, Result};
+use crate::instance::Instance;
+use crate::schedule::{Schedule, ScheduleEntry};
+use crate::task::TaskId;
+use crate::time::Time;
+
+/// Checks that `order` is a permutation of the instance's task set.
+pub fn check_permutation(instance: &Instance, order: &[TaskId]) -> Result<()> {
+    if order.len() != instance.len() {
+        return Err(CoreError::NotAPermutation {
+            expected: instance.len(),
+            got: order.len(),
+        });
+    }
+    let mut seen = vec![false; instance.len()];
+    for id in order {
+        if id.index() >= instance.len() {
+            return Err(CoreError::UnknownTask(*id));
+        }
+        if seen[id.index()] {
+            return Err(CoreError::NotAPermutation {
+                expected: instance.len(),
+                got: order.len(),
+            });
+        }
+        seen[id.index()] = true;
+    }
+    Ok(())
+}
+
+/// Executes `order` on both resources assuming unlimited memory
+/// (Algorithm 1, lines 5–13). The resulting makespan for the Johnson order
+/// is the `OMIM` lower bound used throughout the paper's evaluation.
+pub fn simulate_sequence_infinite(instance: &Instance, order: &[TaskId]) -> Result<Schedule> {
+    check_permutation(instance, order)?;
+    let mut schedule = Schedule::with_capacity(order.len());
+    let mut link_free = Time::ZERO;
+    let mut cpu_free = Time::ZERO;
+    for &id in order {
+        let task = instance.task(id);
+        let comm_start = link_free;
+        let comm_end = comm_start + task.comm_time;
+        let comp_start = comm_end.max(cpu_free);
+        link_free = comm_end;
+        cpu_free = comp_start + task.comp_time;
+        schedule.push(ScheduleEntry {
+            task: id,
+            comm_start,
+            comp_start,
+        });
+    }
+    Ok(schedule)
+}
+
+/// Executes `order` on both resources under the instance's memory capacity.
+///
+/// The executor keeps the set of *active* tasks (communication started,
+/// computation not yet finished). The next task's communication starts at the
+/// earliest instant `t >= link_free` such that the memory still held at `t`
+/// plus the task's requirement fits in the capacity; releases happening
+/// exactly at `t` are counted as already freed (matching the schedules of
+/// Figs. 4–6 of the paper, where a transfer may start at the very instant a
+/// computation releases its memory). Computations run in the same order,
+/// each starting as soon as its transfer is done and the processing unit is
+/// free.
+pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedule> {
+    check_permutation(instance, order)?;
+    let capacity = instance.capacity();
+    let mut schedule = Schedule::with_capacity(order.len());
+    let mut link_free = Time::ZERO;
+    let mut cpu_free = Time::ZERO;
+    // Active tasks as (computation end, memory held). Computation ends are
+    // non-decreasing because computations run in sequence order on a single
+    // processing unit, so this behaves like a FIFO of pending releases.
+    let mut active: Vec<(Time, u64)> = Vec::new();
+    let mut held: u64 = 0;
+
+    for &id in order {
+        let task = instance.task(id);
+        let need = task.mem.bytes();
+        debug_assert!(
+            need <= capacity.bytes(),
+            "instance invariant: every task fits in the capacity"
+        );
+
+        // Earliest start on the link.
+        let mut start = link_free;
+        // Release everything that completes no later than `start`.
+        while let Some(&(release, mem)) = active.first() {
+            if release <= start {
+                held -= mem;
+                active.remove(0);
+            } else {
+                break;
+            }
+        }
+        // If the task still does not fit, wait for further releases. Memory
+        // only decreases until we acquire, so stepping through release
+        // instants finds the earliest feasible start.
+        while held + need > capacity.bytes() {
+            let (release, mem) = active.remove(0);
+            held -= mem;
+            start = start.max(release);
+        }
+
+        let comm_start = start;
+        let comm_end = comm_start + task.comm_time;
+        let comp_start = comm_end.max(cpu_free);
+        let comp_end = comp_start + task.comp_time;
+        link_free = comm_end;
+        cpu_free = comp_end;
+        held += need;
+        active.push((comp_end, need));
+        schedule.push(ScheduleEntry {
+            task: id,
+            comm_start,
+            comp_start,
+        });
+    }
+    Ok(schedule)
+}
+
+/// Makespan of [`simulate_sequence`] without materializing the schedule.
+/// Convenience for solvers that evaluate many orders.
+pub fn sequence_makespan(instance: &Instance, order: &[TaskId]) -> Result<Time> {
+    Ok(simulate_sequence(instance, order)?.makespan(instance))
+}
+
+/// Makespan of [`simulate_sequence_infinite`] without materializing the
+/// schedule.
+pub fn sequence_makespan_infinite(instance: &Instance, order: &[TaskId]) -> Result<Time> {
+    Ok(simulate_sequence_infinite(instance, order)?.makespan(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::is_feasible;
+    use crate::instance::InstanceBuilder;
+    use crate::memory::MemSize;
+
+    /// Table 3 of the paper: A(3,2,3), B(1,3,1), C(4,4,4), D(2,1,2), C = 6.
+    fn table3() -> Instance {
+        InstanceBuilder::new()
+            .capacity(MemSize::from_bytes(6))
+            .task_units("A", 3.0, 2.0, 3)
+            .task_units("B", 1.0, 3.0, 1)
+            .task_units("C", 4.0, 4.0, 4)
+            .task_units("D", 2.0, 1.0, 2)
+            .build()
+            .unwrap()
+    }
+
+    fn ids(v: &[usize]) -> Vec<TaskId> {
+        v.iter().map(|&i| TaskId(i)).collect()
+    }
+
+    #[test]
+    fn infinite_memory_johnson_order_matches_fig4a() {
+        // Johnson order for Table 3 is B, C, A, D with OMIM = 12 (Fig. 4a).
+        let inst = table3();
+        let sched = simulate_sequence_infinite(&inst, &ids(&[1, 2, 0, 3])).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(12));
+    }
+
+    #[test]
+    fn constrained_oosim_matches_fig4b() {
+        // Same order under capacity 6 gives makespan 15 (Fig. 4b, OOSIM).
+        let inst = table3();
+        let sched = simulate_sequence(&inst, &ids(&[1, 2, 0, 3])).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(15));
+        assert!(is_feasible(&inst, &sched));
+        // A's transfer is delayed until C's computation releases memory at 9.
+        let a = sched.entry(TaskId(0)).unwrap();
+        assert_eq!(a.comm_start, Time::units_int(9));
+    }
+
+    #[test]
+    fn constrained_iocms_matches_fig4b() {
+        // IOCMS order B, D, A, C gives makespan 16 (Fig. 4b).
+        let inst = table3();
+        let sched = simulate_sequence(&inst, &ids(&[1, 3, 0, 2])).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(16));
+        assert!(is_feasible(&inst, &sched));
+    }
+
+    #[test]
+    fn constrained_docps_matches_fig4b() {
+        // DOCPS order C, B, A, D gives makespan 14 (Fig. 4b).
+        let inst = table3();
+        let sched = simulate_sequence(&inst, &ids(&[2, 1, 0, 3])).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(14));
+    }
+
+    #[test]
+    fn constrained_doccs_matches_fig4b() {
+        // DOCCS order C, A, B, D gives makespan 17 (Fig. 4b).
+        let inst = table3();
+        let sched = simulate_sequence(&inst, &ids(&[2, 0, 1, 3])).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(17));
+    }
+
+    #[test]
+    fn constrained_never_beats_infinite() {
+        let inst = table3();
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut order = inst.task_ids();
+        for _ in 0..50 {
+            order.shuffle(&mut rng);
+            let finite = sequence_makespan(&inst, &order).unwrap();
+            let infinite = sequence_makespan_infinite(&inst, &order).unwrap();
+            assert!(finite >= infinite);
+        }
+    }
+
+    #[test]
+    fn produced_schedules_are_feasible_and_permutation_ordered() {
+        let inst = table3();
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut order = inst.task_ids();
+        for _ in 0..50 {
+            order.shuffle(&mut rng);
+            let sched = simulate_sequence(&inst, &order).unwrap();
+            assert!(is_feasible(&inst, &sched), "{:?}", order);
+            assert_eq!(sched.comm_order(), order);
+            assert!(sched.is_permutation_schedule());
+        }
+    }
+
+    #[test]
+    fn bad_sequences_rejected() {
+        let inst = table3();
+        assert!(matches!(
+            simulate_sequence(&inst, &ids(&[0, 1])),
+            Err(CoreError::NotAPermutation { .. })
+        ));
+        assert!(matches!(
+            simulate_sequence(&inst, &ids(&[0, 1, 2, 2])),
+            Err(CoreError::NotAPermutation { .. })
+        ));
+        assert!(matches!(
+            simulate_sequence(&inst, &ids(&[0, 1, 2, 9])),
+            Err(CoreError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn single_task_instance() {
+        let inst = InstanceBuilder::new()
+            .capacity(MemSize::from_bytes(5))
+            .task_units("only", 2.0, 3.0, 5)
+            .build()
+            .unwrap();
+        let sched = simulate_sequence(&inst, &[TaskId(0)]).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(5));
+    }
+}

@@ -1,0 +1,29 @@
+//! # dts-flowshop
+//!
+//! Flowshop-theoretic building blocks for the data-transfer ordering problem:
+//!
+//! * [`johnson`] — Johnson's rule for the 2-machine flowshop, which solves
+//!   the infinite-memory case optimally (Algorithm 1 of the paper) and
+//!   provides the `OMIM` lower bound used by every experiment;
+//! * [`lemma`] — the exchange argument of Lemma 1, exposed as executable
+//!   predicates (used by property tests to validate the optimality proof);
+//! * [`gilmore_gomory`] — the Gilmore–Gomory sequencing algorithm for the
+//!   2-machine *no-wait* flowshop, used as the `GG` static heuristic;
+//! * [`exact`] — exhaustive and branch-and-bound exact solvers for small
+//!   instances, both for permutation schedules (same order on both
+//!   resources) and for general schedules (orders may differ, Proposition 1);
+//! * [`reduction`] — the 3-Partition → DT reduction of Theorem 2 (Table 1),
+//!   with a verifier that maps feasible tight schedules back to partitions.
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod gilmore_gomory;
+pub mod johnson;
+pub mod lemma;
+pub mod reduction;
+
+pub use exact::{optimal_free_order, optimal_same_order, ExactSolution};
+pub use gilmore_gomory::gilmore_gomory_order;
+pub use johnson::{johnson_makespan, johnson_order, johnson_schedule};
+pub use reduction::{three_partition_to_dt, ThreePartitionInstance};

@@ -1,0 +1,221 @@
+//! Static order with dynamic corrections (Section 4.3 of the paper).
+//!
+//! The Johnson (OMIM) order is precomputed and followed as long as the next
+//! task of the order fits in the available memory. When it does not, a task
+//! is selected dynamically — among the remaining tasks that fit and induce
+//! minimum idle time on the processing unit — and removed from the pending
+//! order. If nothing fits, the link stays idle until the next memory
+//! release.
+
+use crate::engine::{filter_minimum_cpu_idle, EngineState};
+use crate::SelectionCriterion;
+use dts_core::prelude::*;
+use dts_flowshop::johnson::johnson_order;
+use serde::{Deserialize, Serialize};
+
+/// Criterion used when a dynamic correction is needed. The options mirror
+/// [`SelectionCriterion`](crate::SelectionCriterion); a separate type keeps
+/// the heuristic names (`OOLCMR`/`OOSCMR`/`OOMAMR`) self-documenting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorrectionCriterion {
+    /// `OOLCMR`: largest communication time.
+    LargestCommunication,
+    /// `OOSCMR`: smallest communication time.
+    SmallestCommunication,
+    /// `OOMAMR`: largest computation/communication ratio.
+    MaximumAcceleration,
+}
+
+impl From<CorrectionCriterion> for SelectionCriterion {
+    fn from(c: CorrectionCriterion) -> SelectionCriterion {
+        match c {
+            CorrectionCriterion::LargestCommunication => SelectionCriterion::LargestCommunication,
+            CorrectionCriterion::SmallestCommunication => {
+                SelectionCriterion::SmallestCommunication
+            }
+            CorrectionCriterion::MaximumAcceleration => SelectionCriterion::MaximumAcceleration,
+        }
+    }
+}
+
+/// Runs a static-order-with-dynamic-corrections heuristic using the Johnson
+/// order as the precomputed order.
+pub fn run_corrected(instance: &Instance, criterion: CorrectionCriterion) -> Result<Schedule> {
+    run_corrected_with_order(instance, &johnson_order(instance), criterion)
+}
+
+/// Same as [`run_corrected`] but with an arbitrary precomputed order. Used by
+/// the ablation benchmarks to apply corrections on top of other static
+/// orders.
+pub fn run_corrected_with_order(
+    instance: &Instance,
+    order: &[TaskId],
+    criterion: CorrectionCriterion,
+) -> Result<Schedule> {
+    dts_core::simulate::check_permutation(instance, order)?;
+    let selection: SelectionCriterion = criterion.into();
+    let mut state = EngineState::new(instance);
+    let mut pending: Vec<TaskId> = order.to_vec();
+    let mut now = Time::ZERO;
+
+    while !pending.is_empty() {
+        now = now.max(state.link_free);
+        let next = pending[0];
+        if state.fits_at(instance.task(next), now) {
+            // Follow the precomputed order.
+            state.commit(instance, next, now);
+            pending.remove(0);
+            continue;
+        }
+        // The next task of the order does not fit: correct dynamically.
+        let fitting: Vec<TaskId> = pending
+            .iter()
+            .copied()
+            .filter(|id| state.fits_at(instance.task(*id), now))
+            .collect();
+        if fitting.is_empty() {
+            let next_release = state
+                .next_release_after(now)
+                .expect("no fitting task implies some task is still holding memory");
+            now = next_release;
+            continue;
+        }
+        let best_idle = filter_minimum_cpu_idle(instance, &state, &fitting, now);
+        let chosen = selection
+            .choose(instance, &best_idle)
+            .expect("filter preserves at least one candidate");
+        state.commit(instance, chosen, now);
+        pending.retain(|id| *id != chosen);
+    }
+    Ok(state.schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_core::feasibility::is_feasible;
+    use dts_core::instances::{random_instance_decoupled_memory, table5};
+    use dts_core::simulate::simulate_sequence;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn comm_order_names(inst: &Instance, sched: &Schedule) -> Vec<String> {
+        sched
+            .comm_order()
+            .iter()
+            .map(|id| inst.task(*id).name.clone())
+            .collect()
+    }
+
+    /// Fig. 6 of the paper: the three corrected heuristics on Table 5 with a
+    /// memory capacity of 9 (Johnson order B C D E A).
+    #[test]
+    fn fig6_oolcmr_schedule() {
+        let inst = table5();
+        let sched = run_corrected(&inst, CorrectionCriterion::LargestCommunication).unwrap();
+        assert_eq!(comm_order_names(&inst, &sched), vec!["B", "D", "A", "E", "C"]);
+        assert_eq!(sched.makespan(&inst), Time::units_int(33));
+        assert!(is_feasible(&inst, &sched));
+    }
+
+    #[test]
+    fn fig6_ooscmr_schedule() {
+        let inst = table5();
+        let sched = run_corrected(&inst, CorrectionCriterion::SmallestCommunication).unwrap();
+        assert_eq!(comm_order_names(&inst, &sched), vec!["B", "E", "A", "D", "C"]);
+        assert_eq!(sched.makespan(&inst), Time::units_int(35));
+        assert!(is_feasible(&inst, &sched));
+    }
+
+    #[test]
+    fn fig6_oomamr_schedule() {
+        let inst = table5();
+        let sched = run_corrected(&inst, CorrectionCriterion::MaximumAcceleration).unwrap();
+        assert_eq!(comm_order_names(&inst, &sched), vec!["B", "D", "E", "A", "C"]);
+        assert_eq!(sched.makespan(&inst), Time::units_int(33));
+        assert!(is_feasible(&inst, &sched));
+    }
+
+    #[test]
+    fn fig6_oolcmr_detailed_timeline() {
+        // Event times read off Fig. 6 (OOLCMR row): B comm [0,2) comp [2,8);
+        // D comm [2,7) comp [8,12); A comm [8,12) comp [12,13);
+        // E comm [12,15) comp [15,17); C comm [17,25) comp [25,33).
+        let inst = table5();
+        let sched = run_corrected(&inst, CorrectionCriterion::LargestCommunication).unwrap();
+        let by_name = |n: &str| {
+            let (id, _) = inst.iter().find(|(_, t)| t.name == n).unwrap();
+            *sched.entry(id).unwrap()
+        };
+        assert_eq!(by_name("D").comm_start, Time::units_int(2));
+        assert_eq!(by_name("A").comm_start, Time::units_int(8));
+        assert_eq!(by_name("E").comm_start, Time::units_int(12));
+        assert_eq!(by_name("C").comm_start, Time::units_int(17));
+        assert_eq!(by_name("C").comp_start, Time::units_int(25));
+    }
+
+    #[test]
+    fn with_unconstrained_memory_corrected_equals_johnson() {
+        // When memory is never a restriction the corrected heuristics follow
+        // the Johnson order exactly and reach OMIM.
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..20 {
+            let inst = random_instance_decoupled_memory(&mut rng, 12, 1000.0);
+            let omim = dts_flowshop::johnson::johnson_makespan(&inst);
+            for criterion in [
+                CorrectionCriterion::LargestCommunication,
+                CorrectionCriterion::SmallestCommunication,
+                CorrectionCriterion::MaximumAcceleration,
+            ] {
+                let sched = run_corrected(&inst, criterion).unwrap();
+                assert_eq!(sched.makespan(&inst), omim);
+            }
+        }
+    }
+
+    #[test]
+    fn corrected_never_worse_than_uncorrected_on_table5() {
+        // On Table 5 the plain OOSIM (no corrections) is blocked by C and
+        // ends later than every corrected variant.
+        let inst = table5();
+        let johnson = dts_flowshop::johnson::johnson_order(&inst);
+        let uncorrected = simulate_sequence(&inst, &johnson).unwrap().makespan(&inst);
+        for criterion in [
+            CorrectionCriterion::LargestCommunication,
+            CorrectionCriterion::SmallestCommunication,
+            CorrectionCriterion::MaximumAcceleration,
+        ] {
+            let corrected = run_corrected(&inst, criterion).unwrap().makespan(&inst);
+            assert!(corrected <= uncorrected);
+        }
+    }
+
+    #[test]
+    fn corrected_with_custom_order_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let inst = random_instance_decoupled_memory(&mut rng, 15, 1.25);
+            // Apply corrections on top of the submission order.
+            let order = inst.task_ids();
+            let sched = run_corrected_with_order(
+                &inst,
+                &order,
+                CorrectionCriterion::MaximumAcceleration,
+            )
+            .unwrap();
+            assert!(is_feasible(&inst, &sched));
+            assert_eq!(sched.len(), inst.len());
+        }
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let inst = table5();
+        let err = run_corrected_with_order(
+            &inst,
+            &[TaskId(0), TaskId(1)],
+            CorrectionCriterion::LargestCommunication,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared event-driven machinery for the dynamic and corrected heuristics.
+//!
+//! The engine models the runtime state of problem `DT` while a schedule is
+//! being constructed task by task: availability of the communication link
+//! and of the processing unit, and the set of *active* tasks (transfer
+//! started, computation not yet finished) that currently hold memory.
+
+use dts_core::prelude::*;
+
+/// Mutable scheduling state used by the decision-driven heuristics.
+#[derive(Debug, Clone)]
+pub struct EngineState {
+    /// Instant at which the communication link becomes free.
+    pub link_free: Time,
+    /// Instant at which the processing unit becomes free.
+    pub cpu_free: Time,
+    /// Active tasks as `(computation end, memory held)`, kept sorted by
+    /// computation end (computations run one at a time, so pushes are already
+    /// in non-decreasing order).
+    active: Vec<(Time, MemSize)>,
+    /// Capacity of the local memory.
+    capacity: MemSize,
+    /// Schedule built so far.
+    pub schedule: Schedule,
+}
+
+impl EngineState {
+    /// Creates the initial state for an instance.
+    pub fn new(instance: &Instance) -> Self {
+        EngineState {
+            link_free: Time::ZERO,
+            cpu_free: Time::ZERO,
+            active: Vec::new(),
+            capacity: instance.capacity(),
+            schedule: Schedule::with_capacity(instance.len()),
+        }
+    }
+
+    /// Memory still held at instant `t`: active tasks whose computation ends
+    /// strictly after `t` (a release at exactly `t` is already effective,
+    /// matching the schedules of the paper's figures).
+    pub fn held_at(&self, t: Time) -> MemSize {
+        self.active
+            .iter()
+            .filter(|(end, _)| *end > t)
+            .map(|(_, mem)| *mem)
+            .sum()
+    }
+
+    /// `true` iff `task` fits in the memory remaining at instant `t`.
+    pub fn fits_at(&self, task: &Task, t: Time) -> bool {
+        self.held_at(t).saturating_add(task.mem) <= self.capacity
+    }
+
+    /// Idle time that starting `task`'s transfer at instant `t` would induce
+    /// on the processing unit: the gap between the moment the unit becomes
+    /// free and the moment this task's data would be ready.
+    pub fn induced_cpu_idle(&self, task: &Task, t: Time) -> Time {
+        (t + task.comm_time).saturating_sub(self.cpu_free)
+    }
+
+    /// The next instant after `t` at which some active task releases its
+    /// memory, if any. Used to advance time when nothing fits.
+    pub fn next_release_after(&self, t: Time) -> Option<Time> {
+        self.active
+            .iter()
+            .map(|(end, _)| *end)
+            .filter(|end| *end > t)
+            .min()
+    }
+
+    /// Commits `task` (with id `id`) to start its transfer at instant `t`.
+    /// Returns the completion time of its computation.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the transfer would overlap the link busy
+    /// period or overflow the memory — callers must only commit decisions
+    /// validated with [`EngineState::fits_at`].
+    pub fn commit(&mut self, instance: &Instance, id: TaskId, t: Time) -> Time {
+        let task = instance.task(id);
+        debug_assert!(t >= self.link_free, "transfer would overlap the link");
+        debug_assert!(self.fits_at(task, t), "task does not fit in memory");
+        let comm_start = t;
+        let comm_end = comm_start + task.comm_time;
+        let comp_start = comm_end.max(self.cpu_free);
+        let comp_end = comp_start + task.comp_time;
+        self.link_free = comm_end;
+        self.cpu_free = comp_end;
+        self.active.push((comp_end, task.mem));
+        self.schedule.push(ScheduleEntry {
+            task: id,
+            comm_start,
+            comp_start,
+        });
+        comp_end
+    }
+}
+
+/// Among `candidates` (tasks that fit in memory at instant `t`), keeps only
+/// those inducing the minimum idle time on the processing unit — the common
+/// pre-filter of every dynamic selection rule of the paper.
+pub fn filter_minimum_cpu_idle(
+    instance: &Instance,
+    state: &EngineState,
+    candidates: &[TaskId],
+    t: Time,
+) -> Vec<TaskId> {
+    let min_idle = candidates
+        .iter()
+        .map(|&id| state.induced_cpu_idle(instance.task(id), t))
+        .min();
+    match min_idle {
+        None => Vec::new(),
+        Some(min) => candidates
+            .iter()
+            .copied()
+            .filter(|&id| state.induced_cpu_idle(instance.task(id), t) == min)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_core::instances::table4;
+
+    #[test]
+    fn held_memory_tracks_commits_and_releases() {
+        let inst = table4();
+        let mut state = EngineState::new(&inst);
+        assert_eq!(state.held_at(Time::ZERO), MemSize::ZERO);
+        // Commit B (comm 1, comp 6, mem 1) at t = 0: active until 7.
+        let end = state.commit(&inst, TaskId(1), Time::ZERO);
+        assert_eq!(end, Time::units_int(7));
+        assert_eq!(state.held_at(Time::units_int(3)), MemSize::from_bytes(1));
+        assert_eq!(state.held_at(Time::units_int(7)), MemSize::ZERO);
+        assert_eq!(state.link_free, Time::units_int(1));
+        assert_eq!(state.cpu_free, Time::units_int(7));
+        assert_eq!(state.next_release_after(Time::ZERO), Some(Time::units_int(7)));
+        assert_eq!(state.next_release_after(Time::units_int(7)), None);
+    }
+
+    #[test]
+    fn fits_at_respects_capacity() {
+        let inst = table4(); // capacity 6
+        let mut state = EngineState::new(&inst);
+        state.commit(&inst, TaskId(1), Time::ZERO); // mem 1 until 7
+        state.commit(&inst, TaskId(3), Time::units_int(1)); // D: mem 5 until 8
+        // At t = 6 nothing else fits (held 6).
+        assert!(!state.fits_at(inst.task(TaskId(0)), Time::units_int(6)));
+        // At t = 8 both releases happened.
+        assert!(state.fits_at(inst.task(TaskId(2)), Time::units_int(8)));
+    }
+
+    #[test]
+    fn induced_idle_measures_cpu_gap() {
+        let inst = table4();
+        let mut state = EngineState::new(&inst);
+        state.commit(&inst, TaskId(1), Time::ZERO); // cpu_free = 7
+        // Starting A (comm 3) at t = 1 ends its transfer at 4 < 7: no idle.
+        assert_eq!(
+            state.induced_cpu_idle(inst.task(TaskId(0)), Time::units_int(1)),
+            Time::ZERO
+        );
+        // Starting A at t = 8 ends at 11: 4 units of CPU idle.
+        assert_eq!(
+            state.induced_cpu_idle(inst.task(TaskId(0)), Time::units_int(8)),
+            Time::units_int(4)
+        );
+    }
+
+    #[test]
+    fn min_idle_filter_keeps_ties() {
+        let inst = table4();
+        let mut state = EngineState::new(&inst);
+        state.commit(&inst, TaskId(1), Time::ZERO); // cpu busy until 7
+        let candidates = vec![TaskId(0), TaskId(2), TaskId(3)];
+        // At t = 1 every remaining transfer finishes before 7: all tie at 0.
+        let kept = filter_minimum_cpu_idle(&inst, &state, &candidates, Time::units_int(1));
+        assert_eq!(kept, candidates);
+        // At t = 5, A (comm 3) ends at 8 (idle 1), C (comm 4) at 9 (idle 2),
+        // D (comm 5) at 10 (idle 3): only A is kept.
+        let kept = filter_minimum_cpu_idle(&inst, &state, &candidates, Time::units_int(5));
+        assert_eq!(kept, vec![TaskId(0)]);
+        assert!(filter_minimum_cpu_idle(&inst, &state, &[], Time::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Tensor transpose (index permutation) kernel.
+
+use crate::tile::{Tile, TileShape};
+
+/// Transposes (permutes the indices of) a tile: output index `k` takes the
+/// value of input index `perm[k]`. This is the memory-bound kernel of the
+/// NWChem tensor library ("tensor transpose" in the paper's Section 5).
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..4`.
+pub fn transpose(input: &Tile, perm: [usize; 4]) -> Tile {
+    let mut seen = [false; 4];
+    for &p in &perm {
+        assert!(p < 4 && !seen[p], "perm must be a permutation of 0..4");
+        seen[p] = true;
+    }
+    let in_shape = input.shape();
+    let out_shape = TileShape {
+        dims: [
+            in_shape.dims[perm[0]],
+            in_shape.dims[perm[1]],
+            in_shape.dims[perm[2]],
+            in_shape.dims[perm[3]],
+        ],
+    };
+    let mut out = Tile::zeros(out_shape);
+    let d = out_shape.dims;
+    for i0 in 0..d[0] {
+        for i1 in 0..d[1] {
+            for i2 in 0..d[2] {
+                for i3 in 0..d[3] {
+                    let out_idx = [i0, i1, i2, i3];
+                    let mut in_idx = [0usize; 4];
+                    for k in 0..4 {
+                        in_idx[perm[k]] = out_idx[k];
+                    }
+                    out.set(out_idx, input.get(in_idx));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of bytes moved by a transpose of `shape` (read + write).
+pub fn transpose_bytes(shape: TileShape) -> u64 {
+    2 * shape.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_transpose_swaps_indices() {
+        let mut t = Tile::zeros(TileShape::matrix(2, 3));
+        t.set([0, 2, 0, 0], 7.0);
+        t.set([1, 0, 0, 0], -2.0);
+        let tt = transpose(&t, [1, 0, 2, 3]);
+        assert_eq!(tt.shape(), TileShape::matrix(3, 2));
+        assert_eq!(tt.get([2, 0, 0, 0]), 7.0);
+        assert_eq!(tt.get([0, 1, 0, 0]), -2.0);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let t = Tile::random(TileShape::rank4(3, 4, 2, 5), &mut StdRng::seed_from_u64(3));
+        let perm = [2, 0, 3, 1];
+        let inverse = {
+            let mut inv = [0usize; 4];
+            for (k, &p) in perm.iter().enumerate() {
+                inv[p] = k;
+            }
+            inv
+        };
+        let back = transpose(&transpose(&t, perm), inverse);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn transpose_preserves_norm() {
+        let t = Tile::random(TileShape::rank4(4, 3, 2, 6), &mut StdRng::seed_from_u64(9));
+        let tt = transpose(&t, [3, 1, 0, 2]);
+        assert!((t.norm() - tt.norm()).abs() < 1e-12);
+        assert_eq!(tt.shape().dims, [6, 3, 4, 2]);
+    }
+
+    #[test]
+    fn transpose_bytes_counts_read_and_write() {
+        assert_eq!(transpose_bytes(TileShape::matrix(100, 100)), 160_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn invalid_permutation_panics() {
+        let t = Tile::zeros(TileShape::matrix(2, 2));
+        let _ = transpose(&t, [0, 0, 2, 3]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build an instance, compute the lower bound, run the
+//! heuristics and inspect the best schedule.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use transfer_sched::core::gantt;
+use transfer_sched::core::metrics::ScheduleMetrics;
+use transfer_sched::prelude::*;
+
+fn main() {
+    // Four independent tasks that need their input transferred to the local
+    // memory (capacity 6) before computing — Table 3 of the paper.
+    let instance = InstanceBuilder::new()
+        .label("quickstart")
+        .capacity(MemSize::from_bytes(6))
+        .task_units("A", 3.0, 2.0, 3)
+        .task_units("B", 1.0, 3.0, 1)
+        .task_units("C", 4.0, 4.0, 4)
+        .task_units("D", 2.0, 1.0, 2)
+        .build()
+        .expect("valid instance");
+
+    // Lower bound: the optimal makespan if memory were unlimited (Johnson's
+    // rule on the 2-machine flowshop relaxation).
+    let omim = johnson_makespan(&instance);
+    println!("OMIM lower bound: {omim}");
+
+    // Run every heuristic of the paper and report the ratio to optimal.
+    println!("\nheuristic  makespan  ratio");
+    for heuristic in Heuristic::ALL {
+        let schedule = run_heuristic(&instance, heuristic).expect("heuristic runs");
+        let makespan = schedule.makespan(&instance);
+        println!(
+            "{:<9}  {:>8}  {:.3}",
+            heuristic.name(),
+            makespan.to_string(),
+            makespan.ratio(omim)
+        );
+    }
+
+    // Pick the best one and show its schedule.
+    let (best, schedule) = best_heuristic(&instance).expect("heuristics run");
+    let metrics = ScheduleMetrics::of(&instance, &schedule);
+    println!(
+        "\nbest heuristic: {best} (makespan {}, {:.0}% of the communication overlapped)",
+        metrics.makespan,
+        100.0 * metrics.overlap_fraction()
+    );
+    println!(
+        "{}",
+        gantt::render(
+            &instance,
+            &schedule,
+            gantt::GanttOptions {
+                width: 60,
+                with_table: true
+            }
+        )
+    );
+}
