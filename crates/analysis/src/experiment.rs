@@ -124,8 +124,7 @@ pub fn lp_comparison_experiment(
         let instance = trace.to_instance_scaled(factor)?;
         out.push(("OMIM".to_string(), factor, 1.0));
         for &heuristic in heuristics {
-            let makespan =
-                dts_heuristics::run_heuristic(&instance, heuristic)?.makespan(&instance);
+            let makespan = dts_heuristics::run_heuristic(&instance, heuristic)?.makespan(&instance);
             out.push((heuristic.name().to_string(), factor, makespan.ratio(omim)));
         }
         for k in LpKConfig::PAPER_WINDOW_SIZES {
@@ -140,10 +139,7 @@ pub fn lp_comparison_experiment(
 /// favorable situation. Returns, per capacity factor, the mean ratio of the
 /// three categories — used by the `table6_favorable` bench and the tests to
 /// confirm e.g. that corrected heuristics win at moderate capacities.
-pub fn category_means(
-    traces: &[Trace],
-    factors: &[f64],
-) -> Result<Vec<(f64, Vec<(String, f64)>)>> {
+pub fn category_means(traces: &[Trace], factors: &[f64]) -> Result<Vec<(f64, Vec<(String, f64)>)>> {
     let rows = best_variant_experiment(traces, factors, None)?;
     let mut out: Vec<(f64, Vec<(String, f64)>)> = Vec::new();
     for &factor in factors {
@@ -186,8 +182,7 @@ mod tests {
         let traces = traces(Kernel::HartreeFock, 2);
         let rows = best_variant_experiment(&traces, &[1.0, 1.5], None).unwrap();
         assert_eq!(rows.len(), 2 * HeuristicCategory::ALL.len());
-        let labels: std::collections::BTreeSet<_> =
-            rows.iter().map(|r| r.label.clone()).collect();
+        let labels: std::collections::BTreeSet<_> = rows.iter().map(|r| r.label.clone()).collect();
         assert!(labels.contains("Static"));
         assert!(labels.contains("Dynamic"));
         assert!(labels.contains("Static+Dynamic"));
@@ -197,12 +192,8 @@ mod tests {
     #[test]
     fn batched_experiment_runs() {
         let traces = traces(Kernel::Ccsd, 1);
-        let rows = best_variant_experiment(
-            &traces,
-            &[1.25],
-            Some(BatchConfig { batch_size: 50 }),
-        )
-        .unwrap();
+        let rows = best_variant_experiment(&traces, &[1.25], Some(BatchConfig { batch_size: 50 }))
+            .unwrap();
         assert_eq!(rows.len(), HeuristicCategory::ALL.len());
         assert!(rows.iter().all(|r| r.ratios.min >= 1.0 - 1e-12));
     }

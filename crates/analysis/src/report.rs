@@ -6,7 +6,8 @@ use std::fmt::Write as _;
 
 /// Renders raw sweep rows as CSV (one line per heuristic × trace × factor).
 pub fn sweep_to_csv(rows: &[SweepRow]) -> String {
-    let mut out = String::from("kernel,rank,factor,capacity_bytes,heuristic,makespan_us,omim_us,ratio\n");
+    let mut out =
+        String::from("kernel,rank,factor,capacity_bytes,heuristic,makespan_us,omim_us,ratio\n");
     for r in rows {
         let _ = writeln!(
             out,
@@ -27,8 +28,7 @@ pub fn sweep_to_csv(rows: &[SweepRow]) -> String {
 /// Renders aggregated experiment rows as CSV (one line per heuristic ×
 /// factor with the box-plot summary).
 pub fn experiment_to_csv(rows: &[ExperimentRow]) -> String {
-    let mut out =
-        String::from("kernel,factor,label,count,mean,min,q1,median,q3,max\n");
+    let mut out = String::from("kernel,factor,label,count,mean,min,q1,median,q3,max\n");
     for r in rows {
         let _ = writeln!(
             out,

@@ -19,13 +19,30 @@ fn report() {
     println!("Ablation — corrections on top of each static order (one CCSD trace, 1.25 mc)");
     println!("| static order | ratio as-is | ratio with corrections |");
     println!("|---|---|---|");
-    for h in [Heuristic::OS, Heuristic::OOSIM, Heuristic::IOCMS, Heuristic::DOCPS, Heuristic::IOCCS, Heuristic::DOCCS, Heuristic::GG, Heuristic::BP] {
+    for h in [
+        Heuristic::OS,
+        Heuristic::OOSIM,
+        Heuristic::IOCMS,
+        Heuristic::DOCPS,
+        Heuristic::IOCCS,
+        Heuristic::DOCCS,
+        Heuristic::GG,
+        Heuristic::BP,
+    ] {
         let order = static_order(&instance, h).unwrap();
-        let plain = simulate_sequence(&instance, &order).unwrap().makespan(&instance);
-        let corrected = run_corrected_with_order(&instance, &order, CorrectionCriterion::MaximumAcceleration)
+        let plain = simulate_sequence(&instance, &order)
             .unwrap()
             .makespan(&instance);
-        println!("| {} | {:.4} | {:.4} |", h.name(), plain.ratio(omim), corrected.ratio(omim));
+        let corrected =
+            run_corrected_with_order(&instance, &order, CorrectionCriterion::MaximumAcceleration)
+                .unwrap()
+                .makespan(&instance);
+        println!(
+            "| {} | {:.4} | {:.4} |",
+            h.name(),
+            plain.ratio(omim),
+            corrected.ratio(omim)
+        );
     }
 }
 

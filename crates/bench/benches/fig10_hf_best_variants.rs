@@ -7,7 +7,10 @@ use dts_heuristics::{best_in_category, HeuristicCategory};
 
 fn bench(c: &mut Criterion) {
     run_best_variant_experiment(Kernel::HartreeFock, false);
-    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let trace = bench_traces(Kernel::HartreeFock)
+        .into_iter()
+        .next()
+        .unwrap();
     let instance = trace.to_instance_scaled(1.5).unwrap();
     c.bench_function("fig10/best_static_dynamic_hf", |b| {
         b.iter(|| best_in_category(&instance, HeuristicCategory::StaticDynamic).unwrap())

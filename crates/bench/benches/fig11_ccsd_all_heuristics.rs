@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
     let trace = bench_traces(Kernel::Ccsd).into_iter().next().unwrap();
     let instance = trace.to_instance_scaled(1.25).unwrap();
     c.bench_function("fig11/oolcmr_one_ccsd_trace", |b| {
-        b.iter(|| run_heuristic(&instance, Heuristic::OOLCMR).unwrap().makespan(&instance))
+        b.iter(|| {
+            run_heuristic(&instance, Heuristic::OOLCMR)
+                .unwrap()
+                .makespan(&instance)
+        })
     });
 }
 

@@ -10,13 +10,20 @@ use dts_heuristics::Heuristic;
 fn bench(c: &mut Criterion) {
     run_best_variant_experiment(Kernel::HartreeFock, true);
     run_best_variant_experiment(Kernel::Ccsd, true);
-    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let trace = bench_traces(Kernel::HartreeFock)
+        .into_iter()
+        .next()
+        .unwrap();
     let instance = trace.to_instance_scaled(1.5).unwrap();
     c.bench_function("fig13/oolcmr_batched_hf", |b| {
         b.iter(|| {
-            run_heuristic_batched(&instance, Heuristic::OOLCMR, BatchConfig { batch_size: 100 })
-                .unwrap()
-                .makespan(&instance)
+            run_heuristic_batched(
+                &instance,
+                Heuristic::OOLCMR,
+                BatchConfig { batch_size: 100 },
+            )
+            .unwrap()
+            .makespan(&instance)
         })
     });
 }

@@ -10,8 +10,14 @@ fn report() {
     let same = optimal_same_order(&inst);
     let free = optimal_free_order(&inst);
     println!("Fig. 3 — Table 2 instance, capacity 10");
-    println!("  best permutation schedule (same order on both resources): {}", same.makespan);
-    println!("  best general schedule (orders may differ):                {}", free.makespan);
+    println!(
+        "  best permutation schedule (same order on both resources): {}",
+        same.makespan
+    );
+    println!(
+        "  best general schedule (orders may differ):                {}",
+        free.makespan
+    );
     println!("  (paper reports 23 and 22; our left-shifted executor finds a 22.5 permutation schedule, see EXPERIMENTS.md)");
 }
 

@@ -8,11 +8,29 @@ use dts_heuristics::{run_heuristic, Heuristic};
 
 fn report() {
     let inst = table3();
-    println!("Fig. 4 — Table 3 instance, capacity 6 (OMIM = {})", johnson_makespan(&inst));
-    for h in [Heuristic::OOSIM, Heuristic::IOCMS, Heuristic::DOCPS, Heuristic::IOCCS, Heuristic::DOCCS] {
+    println!(
+        "Fig. 4 — Table 3 instance, capacity 6 (OMIM = {})",
+        johnson_makespan(&inst)
+    );
+    for h in [
+        Heuristic::OOSIM,
+        Heuristic::IOCMS,
+        Heuristic::DOCPS,
+        Heuristic::IOCCS,
+        Heuristic::DOCCS,
+    ] {
         let sched = run_heuristic(&inst, h).unwrap();
-        let order: Vec<String> = sched.comm_order().iter().map(|id| inst.task(*id).name.clone()).collect();
-        println!("  {:<6} order {:?} makespan {}", h.name(), order, sched.makespan(&inst));
+        let order: Vec<String> = sched
+            .comm_order()
+            .iter()
+            .map(|id| inst.task(*id).name.clone())
+            .collect();
+        println!(
+            "  {:<6} order {:?} makespan {}",
+            h.name(),
+            order,
+            sched.makespan(&inst)
+        );
     }
 }
 
@@ -21,10 +39,16 @@ fn bench(c: &mut Criterion) {
     let inst = table3();
     c.bench_function("fig4/all_static_heuristics_table3", |b| {
         b.iter(|| {
-            [Heuristic::OOSIM, Heuristic::IOCMS, Heuristic::DOCPS, Heuristic::IOCCS, Heuristic::DOCCS]
-                .iter()
-                .map(|&h| run_heuristic(&inst, h).unwrap().makespan(&inst))
-                .max()
+            [
+                Heuristic::OOSIM,
+                Heuristic::IOCMS,
+                Heuristic::DOCPS,
+                Heuristic::IOCCS,
+                Heuristic::DOCCS,
+            ]
+            .iter()
+            .map(|&h| run_heuristic(&inst, h).unwrap().makespan(&inst))
+            .max()
         })
     });
 }

@@ -10,8 +10,17 @@ fn report() {
     println!("Fig. 5 — Table 4 instance, capacity 6");
     for h in [Heuristic::LCMR, Heuristic::SCMR, Heuristic::MAMR] {
         let sched = run_heuristic(&inst, h).unwrap();
-        let order: Vec<String> = sched.comm_order().iter().map(|id| inst.task(*id).name.clone()).collect();
-        println!("  {:<5} order {:?} makespan {}", h.name(), order, sched.makespan(&inst));
+        let order: Vec<String> = sched
+            .comm_order()
+            .iter()
+            .map(|id| inst.task(*id).name.clone())
+            .collect();
+        println!(
+            "  {:<5} order {:?} makespan {}",
+            h.name(),
+            order,
+            sched.makespan(&inst)
+        );
     }
 }
 

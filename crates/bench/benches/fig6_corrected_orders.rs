@@ -8,12 +8,24 @@ use dts_heuristics::{run_heuristic, Heuristic};
 
 fn report() {
     let inst = table5();
-    let johnson: Vec<String> = johnson_order(&inst).iter().map(|id| inst.task(*id).name.clone()).collect();
+    let johnson: Vec<String> = johnson_order(&inst)
+        .iter()
+        .map(|id| inst.task(*id).name.clone())
+        .collect();
     println!("Fig. 6 — Table 5 instance, capacity 9, OMIM order {johnson:?}");
     for h in [Heuristic::OOLCMR, Heuristic::OOSCMR, Heuristic::OOMAMR] {
         let sched = run_heuristic(&inst, h).unwrap();
-        let order: Vec<String> = sched.comm_order().iter().map(|id| inst.task(*id).name.clone()).collect();
-        println!("  {:<7} order {:?} makespan {}", h.name(), order, sched.makespan(&inst));
+        let order: Vec<String> = sched
+            .comm_order()
+            .iter()
+            .map(|id| inst.task(*id).name.clone())
+            .collect();
+        println!(
+            "  {:<7} order {:?} makespan {}",
+            h.name(),
+            order,
+            sched.makespan(&inst)
+        );
     }
 }
 

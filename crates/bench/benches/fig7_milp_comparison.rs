@@ -9,7 +9,10 @@ use dts_heuristics::Heuristic;
 use dts_milp::{lp_k, LpKConfig};
 
 fn report() {
-    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let trace = bench_traces(Kernel::HartreeFock)
+        .into_iter()
+        .next()
+        .unwrap();
     println!(
         "Fig. 7 — single HF trace (rank {}, {} tasks, mc = {})",
         trace.rank,
@@ -19,7 +22,13 @@ fn report() {
     let series = lp_comparison_experiment(
         &trace,
         &[1.0, 1.25, 1.5, 1.75, 2.0],
-        &[Heuristic::OS, Heuristic::OOSIM, Heuristic::SCMR, Heuristic::OOLCMR, Heuristic::OOSCMR],
+        &[
+            Heuristic::OS,
+            Heuristic::OOSIM,
+            Heuristic::SCMR,
+            Heuristic::OOLCMR,
+            Heuristic::OOSCMR,
+        ],
     )
     .unwrap();
     println!("| series | factor | ratio to optimal |");
@@ -31,10 +40,17 @@ fn report() {
 
 fn bench(c: &mut Criterion) {
     report();
-    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let trace = bench_traces(Kernel::HartreeFock)
+        .into_iter()
+        .next()
+        .unwrap();
     let instance = trace.to_instance_scaled(1.5).unwrap();
     c.bench_function("fig7/lp4_single_hf_trace", |b| {
-        b.iter(|| lp_k(&instance, LpKConfig { window: 4 }).unwrap().makespan(&instance))
+        b.iter(|| {
+            lp_k(&instance, LpKConfig { window: 4 })
+                .unwrap()
+                .makespan(&instance)
+        })
     });
 }
 

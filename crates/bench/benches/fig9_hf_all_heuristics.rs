@@ -8,10 +8,17 @@ use dts_heuristics::{run_heuristic, Heuristic};
 
 fn bench(c: &mut Criterion) {
     run_all_heuristics_experiment(Kernel::HartreeFock, false);
-    let trace = bench_traces(Kernel::HartreeFock).into_iter().next().unwrap();
+    let trace = bench_traces(Kernel::HartreeFock)
+        .into_iter()
+        .next()
+        .unwrap();
     let instance = trace.to_instance_scaled(1.25).unwrap();
     c.bench_function("fig9/oolcmr_one_hf_trace", |b| {
-        b.iter(|| run_heuristic(&instance, Heuristic::OOLCMR).unwrap().makespan(&instance))
+        b.iter(|| {
+            run_heuristic(&instance, Heuristic::OOLCMR)
+                .unwrap()
+                .makespan(&instance)
+        })
     });
 }
 

@@ -8,13 +8,25 @@ use dts_flowshop::reduction::{three_partition_to_dt, ThreePartitionInstance};
 fn report() {
     let input = ThreePartitionInstance::new(vec![5, 4, 3, 6, 4, 2]).unwrap();
     let reduced = three_partition_to_dt(&input);
-    println!("Table 1 — reduction from 3-Partition (m = {}, b = {}, x = {})", input.m(), input.target(), input.max_value());
-    println!("  tasks: {}   capacity: {}   target makespan L: {}", reduced.instance.len(), reduced.instance.capacity(), reduced.target_makespan);
+    println!(
+        "Table 1 — reduction from 3-Partition (m = {}, b = {}, x = {})",
+        input.m(),
+        input.target(),
+        input.max_value()
+    );
+    println!(
+        "  tasks: {}   capacity: {}   target makespan L: {}",
+        reduced.instance.len(),
+        reduced.instance.capacity(),
+        reduced.target_makespan
+    );
     let triplets = input.solve().unwrap();
     let schedule = reduced.schedule_from_partition(&triplets);
-    println!("  schedule built from the partition has makespan {} (feasible: {})",
+    println!(
+        "  schedule built from the partition has makespan {} (feasible: {})",
         schedule.makespan(&reduced.instance),
-        dts_core::feasibility::is_feasible(&reduced.instance, &schedule));
+        dts_core::feasibility::is_feasible(&reduced.instance, &schedule)
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -24,7 +36,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let reduced = three_partition_to_dt(&input);
             let triplets = input.solve().unwrap();
-            reduced.schedule_from_partition(&triplets).makespan(&reduced.instance)
+            reduced
+                .schedule_from_partition(&triplets)
+                .makespan(&reduced.instance)
         })
     });
 }

@@ -11,7 +11,10 @@ fn report() {
     for kernel in [Kernel::HartreeFock, Kernel::Ccsd] {
         let traces = bench_traces(kernel);
         let means = category_means(&traces, &quick_factors()).unwrap();
-        println!("Table 6 — {} mean ratio of each category by capacity factor", kernel.name());
+        println!(
+            "Table 6 — {} mean ratio of each category by capacity factor",
+            kernel.name()
+        );
         for (factor, labels) in means {
             let line: Vec<String> = labels.iter().map(|(l, m)| format!("{l}={m:.4}")).collect();
             println!("  {factor:.3} x mc: {}", line.join("  "));

@@ -98,8 +98,8 @@ pub fn run_all_heuristics_experiment(kernel: Kernel, full_sweep: bool) -> Vec<Ex
 pub fn run_best_variant_experiment(kernel: Kernel, batched: bool) -> Vec<ExperimentRow> {
     let traces = bench_traces(kernel);
     let batch = batched.then_some(BatchConfig { batch_size: 100 });
-    let rows = best_variant_experiment(&traces, &quick_factors(), batch)
-        .expect("experiment succeeds");
+    let rows =
+        best_variant_experiment(&traces, &quick_factors(), batch).expect("experiment succeeds");
     println!(
         "{}",
         experiment_to_markdown(
@@ -119,7 +119,10 @@ pub fn run_best_variant_experiment(kernel: Kernel, batched: bool) -> Vec<Experim
 /// returns the per-trace characterizations.
 pub fn run_characterization(kernel: Kernel) -> Vec<dts_chem::WorkloadCharacterization> {
     let traces = bench_traces(kernel);
-    println!("{} workload characteristics (ratios to OMIM):", kernel.name());
+    println!(
+        "{} workload characteristics (ratios to OMIM):",
+        kernel.name()
+    );
     println!("| rank | tasks | sum comm | sum comp | max | sum | mc |");
     println!("|---|---|---|---|---|---|---|");
     let mut out = Vec::new();
@@ -127,7 +130,12 @@ pub fn run_characterization(kernel: Kernel) -> Vec<dts_chem::WorkloadCharacteriz
         let c = characterize(trace).expect("characterization succeeds");
         println!(
             "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} |",
-            trace.rank, c.n_tasks, c.sum_comm_ratio, c.sum_comp_ratio, c.max_ratio, c.sum_ratio,
+            trace.rank,
+            c.n_tasks,
+            c.sum_comm_ratio,
+            c.sum_comp_ratio,
+            c.max_ratio,
+            c.sum_ratio,
             c.min_capacity
         );
         out.push(c);
@@ -155,6 +163,9 @@ mod tests {
         let rows = run_best_variant_experiment(Kernel::HartreeFock, false);
         assert!(!rows.is_empty());
         let characterizations = run_characterization(Kernel::HartreeFock);
-        assert_eq!(characterizations.len(), bench_traces(Kernel::HartreeFock).len());
+        assert_eq!(
+            characterizations.len(),
+            bench_traces(Kernel::HartreeFock).len()
+        );
     }
 }

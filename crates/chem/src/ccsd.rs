@@ -170,8 +170,9 @@ pub fn generate_ccsd_trace(
         let n = virt[a] * virt[b];
         let k = rng.gen_range(config.contraction_k.0..=config.contraction_k.1);
         let spec = ContractionSpec::new(m, n, k);
-        let kernel_cost = KernelCost::contraction(spec)
-            .plus(KernelCost::transpose(TileShape::rank4(occ[i], occ[j], virt[a], virt[b])));
+        let kernel_cost = KernelCost::contraction(spec).plus(KernelCost::transpose(
+            TileShape::rank4(occ[i], occ[j], virt[a], virt[b]),
+        ));
         let comp_micros = cost.micros(kernel_cost);
         if mem_bytes == 0 {
             comm_micros = 0;

@@ -81,7 +81,10 @@ mod tests {
         let traces = generate_partial_suite(Kernel::HartreeFock, &config, 2);
         for trace in &traces {
             let c = characterize(trace).unwrap();
-            assert!(c.sum_comm_ratio <= 1.0 + 1e-9, "sum comm cannot exceed OMIM... {c:?}");
+            assert!(
+                c.sum_comm_ratio <= 1.0 + 1e-9,
+                "sum comm cannot exceed OMIM... {c:?}"
+            );
             assert!(c.max_ratio <= 1.0 + 1e-9);
             assert!(c.sum_ratio >= c.max_ratio);
             assert!((c.sum_ratio - (c.sum_comm_ratio + c.sum_comp_ratio)).abs() < 1e-9);
@@ -111,7 +114,10 @@ mod tests {
         let traces = generate_partial_suite(Kernel::Ccsd, &config, 3);
         for trace in &traces {
             let c = characterize(trace).unwrap();
-            assert!(c.sum_comm_ratio > 0.4 && c.sum_comm_ratio <= 1.0 + 1e-9, "{c:?}");
+            assert!(
+                c.sum_comm_ratio > 0.4 && c.sum_comm_ratio <= 1.0 + 1e-9,
+                "{c:?}"
+            );
             assert!(c.sum_comp_ratio > 0.4, "{c:?}");
             assert!(c.max_overlap_gain() > 0.25, "{c:?}");
         }

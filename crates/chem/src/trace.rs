@@ -80,7 +80,11 @@ impl Trace {
                 )
             })
             .collect();
-        Instance::with_label(tasks, capacity, format!("{}-rank{}", self.kernel, self.rank))
+        Instance::with_label(
+            tasks,
+            capacity,
+            format!("{}-rank{}", self.kernel, self.rank),
+        )
     }
 
     /// Converts the trace into an instance whose capacity is `factor · mc`
@@ -101,8 +105,8 @@ impl Trace {
 
     /// Writes the trace as JSON to a file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let mut file = std::fs::File::create(path)
-            .map_err(|e| CoreError::Serialization(e.to_string()))?;
+        let mut file =
+            std::fs::File::create(path).map_err(|e| CoreError::Serialization(e.to_string()))?;
         file.write_all(self.to_json()?.as_bytes())
             .map_err(|e| CoreError::Serialization(e.to_string()))
     }

@@ -126,7 +126,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let schedule = run_heuristic(&instance, heuristic).map_err(|e| e.to_string())?;
     let makespan = schedule.makespan(&instance);
     println!("heuristic          {heuristic}");
-    println!("capacity           {} ({}x mc)", instance.capacity(), factor);
+    println!(
+        "capacity           {} ({}x mc)",
+        instance.capacity(),
+        factor
+    );
     println!("makespan           {} us", makespan.ticks());
     println!("OMIM               {} us", omim.ticks());
     println!("ratio to optimal   {:.4}", makespan.ratio(omim));

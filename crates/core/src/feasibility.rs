@@ -89,10 +89,9 @@ impl fmt::Display for Violation {
                 f,
                 "computations of {first} and {second} overlap on the processor at {at}"
             ),
-            Violation::MemoryExceeded { at, used, capacity } => write!(
-                f,
-                "memory use {used} exceeds capacity {capacity} at {at}"
-            ),
+            Violation::MemoryExceeded { at, used, capacity } => {
+                write!(f, "memory use {used} exceeds capacity {capacity} at {at}")
+            }
         }
     }
 }
@@ -277,9 +276,9 @@ mod tests {
             .into_iter()
             .collect();
         let v = validate(&inst, &sched);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, Violation::ComputationBeforeTransfer { task, .. } if *task == TaskId(0))));
+        assert!(v.iter().any(
+            |x| matches!(x, Violation::ComputationBeforeTransfer { task, .. } if *task == TaskId(0))
+        ));
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl Default for GanttOptions {
 /// Each task is drawn with the first character of its name (task ids when the
 /// name is empty); idle periods are drawn with `.`.
 pub fn render(instance: &Instance, schedule: &Schedule, options: GanttOptions) -> String {
-    let makespan = schedule.makespan(instance).max(schedule.comm_finish(instance));
+    let makespan = schedule
+        .makespan(instance)
+        .max(schedule.comm_finish(instance));
     let mut out = String::new();
     if makespan.is_zero() || schedule.is_empty() {
         out.push_str("(empty schedule)\n");
@@ -50,11 +52,17 @@ pub fn render(instance: &Instance, schedule: &Schedule, options: GanttOptions) -
             .chars()
             .next()
             .unwrap_or_else(|| char::from_digit((entry.task.index() % 10) as u32, 10).unwrap());
-        let (cs, ce) = (scale(entry.comm_start), scale(entry.comm_start + task.comm_time));
+        let (cs, ce) = (
+            scale(entry.comm_start),
+            scale(entry.comm_start + task.comm_time),
+        );
         for cell in comm_row.iter_mut().take(ce.min(width)).skip(cs) {
             *cell = glyph;
         }
-        let (ps, pe) = (scale(entry.comp_start), scale(entry.comp_start + task.comp_time));
+        let (ps, pe) = (
+            scale(entry.comp_start),
+            scale(entry.comp_start + task.comp_time),
+        );
         for cell in comp_row.iter_mut().take(pe.min(width)).skip(ps) {
             *cell = glyph;
         }
@@ -65,7 +73,11 @@ pub fn render(instance: &Instance, schedule: &Schedule, options: GanttOptions) -
     let _ = writeln!(out, "      0{:>w$}", makespan, w = width - 1);
 
     if options.with_table {
-        let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>10} {:>10}", "task", "comm[", "comm)", "comp[", "comp)");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>10} {:>10} {:>10}",
+            "task", "comm[", "comm)", "comp[", "comp)"
+        );
         let mut entries = schedule.entries().to_vec();
         entries.sort_by_key(|e| e.comm_start);
         for e in entries {

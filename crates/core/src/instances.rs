@@ -122,9 +122,8 @@ pub fn random_instance<R: Rng + ?Sized>(rng: &mut R, config: RandomInstanceConfi
             MemSize::from_bytes(comm.max(1)),
         ));
     }
-    let capacity = MemSize::from_bytes(
-        ((max_mem as f64) * config.capacity_factor.max(1.0)).ceil() as u64,
-    );
+    let capacity =
+        MemSize::from_bytes(((max_mem as f64) * config.capacity_factor.max(1.0)).ceil() as u64);
     Instance::with_label(tasks, capacity, format!("random-{}", config.n_tasks))
         .expect("generated instance is valid by construction")
 }
@@ -200,8 +199,14 @@ mod tests {
 
     #[test]
     fn random_instances_are_reproducible() {
-        let a = random_instance(&mut StdRng::seed_from_u64(7), RandomInstanceConfig::default());
-        let b = random_instance(&mut StdRng::seed_from_u64(7), RandomInstanceConfig::default());
+        let a = random_instance(
+            &mut StdRng::seed_from_u64(7),
+            RandomInstanceConfig::default(),
+        );
+        let b = random_instance(
+            &mut StdRng::seed_from_u64(7),
+            RandomInstanceConfig::default(),
+        );
         assert_eq!(a, b);
     }
 
@@ -211,6 +216,140 @@ mod tests {
         let inst = random_instance_decoupled_memory(&mut rng, 10, 2.0);
         assert_eq!(inst.len(), 10);
         assert!(inst.capacity() >= inst.min_capacity());
+    }
+
+    mod feasibility_on_paper_tables {
+        //! The feasibility checker against the worked examples of
+        //! Tables 2–5: simulator-produced schedules are accepted, and each
+        //! class of tampering (link overlap, CPU overlap, memory envelope)
+        //! is rejected with the right violation.
+
+        use super::super::*;
+        use crate::feasibility::{is_feasible, validate, Violation};
+        use crate::schedule::Schedule;
+        use crate::simulate::{simulate_sequence, simulate_sequence_infinite};
+        use crate::task::TaskId;
+
+        fn tables() -> [Instance; 4] {
+            [table2(), table3(), table4(), table5()]
+        }
+
+        /// Shifts one schedule field of task `idx` to `value` and returns
+        /// the tampered schedule.
+        fn with_comm_start(sched: &Schedule, idx: usize, value: Time) -> Schedule {
+            let mut entries: Vec<_> = sched.entries().to_vec();
+            entries[idx].comm_start = value;
+            entries.into_iter().collect()
+        }
+
+        fn with_comp_start(sched: &Schedule, idx: usize, value: Time) -> Schedule {
+            let mut entries: Vec<_> = sched.entries().to_vec();
+            entries[idx].comp_start = value;
+            entries.into_iter().collect()
+        }
+
+        #[test]
+        fn simulator_schedules_are_accepted_on_all_tables() {
+            for inst in tables() {
+                let order = inst.task_ids();
+                let sched = simulate_sequence(&inst, &order).unwrap();
+                assert!(
+                    is_feasible(&inst, &sched),
+                    "{}: {:?}",
+                    inst.label,
+                    validate(&inst, &sched)
+                );
+            }
+        }
+
+        #[test]
+        fn reversed_order_schedules_are_accepted_on_all_tables() {
+            for inst in tables() {
+                let mut order = inst.task_ids();
+                order.reverse();
+                let sched = simulate_sequence(&inst, &order).unwrap();
+                assert!(
+                    is_feasible(&inst, &sched),
+                    "{}: {:?}",
+                    inst.label,
+                    validate(&inst, &sched)
+                );
+            }
+        }
+
+        #[test]
+        fn link_overlap_is_rejected_on_all_tables() {
+            for inst in tables() {
+                let order = inst.task_ids();
+                let sched = simulate_sequence(&inst, &order).unwrap();
+                // Pull the last task's transfer back to time zero: it now
+                // shares the link with the first (nonzero) transfer.
+                let idx = sched.len() - 1;
+                let bad = with_comm_start(&sched, idx, Time::ZERO);
+                let violations = validate(&inst, &bad);
+                assert!(
+                    violations
+                        .iter()
+                        .any(|v| matches!(v, Violation::CommunicationOverlap { .. })),
+                    "{}: {violations:?}",
+                    inst.label
+                );
+            }
+        }
+
+        #[test]
+        fn cpu_overlap_is_rejected_on_all_tables() {
+            for inst in tables() {
+                let order = inst.task_ids();
+                let sched = simulate_sequence(&inst, &order).unwrap();
+                // Start the last computation at the same instant as the
+                // first one; both have nonzero durations on every table.
+                let idx = sched.len() - 1;
+                let first_comp = sched.entries()[0].comp_start;
+                let bad = with_comp_start(&sched, idx, first_comp);
+                let violations = validate(&inst, &bad);
+                assert!(
+                    violations.iter().any(|v| matches!(
+                        v,
+                        Violation::ComputationOverlap { .. }
+                            | Violation::ComputationBeforeTransfer { .. }
+                    )),
+                    "{}: {violations:?}",
+                    inst.label
+                );
+            }
+        }
+
+        #[test]
+        fn memory_envelope_is_rejected_on_all_tables() {
+            // The infinite-memory schedule packs transfers back to back;
+            // replayed against the paper's finite capacities it must burst
+            // the envelope on every table (each table was chosen by the
+            // authors so that memory is the binding constraint).
+            for inst in tables() {
+                let order = inst.task_ids();
+                let infinite = simulate_sequence_infinite(&inst, &order).unwrap();
+                let violations = validate(&inst, &infinite);
+                assert!(
+                    violations
+                        .iter()
+                        .any(|v| matches!(v, Violation::MemoryExceeded { .. })),
+                    "{}: {violations:?}",
+                    inst.label
+                );
+            }
+        }
+
+        #[test]
+        fn table3_hand_schedule_from_fig4_is_accepted() {
+            // OOSIM on Table 3 (paper Fig. 4): comm order B, C, A, D with
+            // makespan 15.
+            let inst = table3();
+            let order = [TaskId(1), TaskId(2), TaskId(0), TaskId(3)];
+            let sched = simulate_sequence(&inst, &order).unwrap();
+            assert!(is_feasible(&inst, &sched));
+            assert_eq!(sched.makespan(&inst), Time::units_int(15));
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Memory quantities and memory-occupation profiles.
 
-use crate::schedule::Schedule;
 use crate::instance::Instance;
+use crate::schedule::Schedule;
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -183,7 +183,11 @@ impl MemoryProfile {
         for entry in schedule.entries() {
             let task = instance.task(entry.task);
             let acquire = entry.comm_start;
-            let release = entry.comp_start + task.comp_time;
+            // Malformed schedules (rejected separately by the feasibility
+            // checker) can place a computation's end before its own
+            // communication start; clamp so the profile stays well-formed
+            // and the checker can keep reporting the other violations.
+            let release = (entry.comp_start + task.comp_time).max(acquire);
             events.push((acquire, task.mem.bytes() as i64));
             events.push((release, -(task.mem.bytes() as i64)));
         }

@@ -162,7 +162,10 @@ mod tests {
         assert_eq!(sched.comm_order(), vec![TaskId(0), TaskId(1)]);
         assert_eq!(sched.comp_order(), vec![TaskId(0), TaskId(1)]);
         assert!(sched.is_permutation_schedule());
-        assert_eq!(sched.entry(TaskId(1)).unwrap().comp_start, Time::units_int(5));
+        assert_eq!(
+            sched.entry(TaskId(1)).unwrap().comp_start,
+            Time::units_int(5)
+        );
         assert!(sched.entry(TaskId(7)).is_none());
     }
 

@@ -9,9 +9,7 @@ use std::fmt;
 ///
 /// Task ids are dense indices (`0..n`), which lets schedules and solvers use
 /// plain vectors instead of hash maps.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TaskId(pub usize);
 

@@ -102,7 +102,10 @@ pub fn gilmore_gomory_order(instance: &Instance) -> Vec<TaskId> {
         let mut selected: Vec<usize> = Vec::with_capacity(n_cycles - 1);
         for (_, k) in candidates {
             let (p, q) = (by_b[k], by_b[k + 1]);
-            let (cp, cq) = (find(&mut parent, cycle_of[p]), find(&mut parent, cycle_of[q]));
+            let (cp, cq) = (
+                find(&mut parent, cycle_of[p]),
+                find(&mut parent, cycle_of[q]),
+            );
             if cp != cq {
                 parent[cp] = cq;
                 selected.push(k);
@@ -149,7 +152,11 @@ pub fn gilmore_gomory_order(instance: &Instance) -> Vec<TaskId> {
                 }
             }
         }
-        debug_assert_eq!(applied, selected.len(), "interchange constraints form a DAG");
+        debug_assert_eq!(
+            applied,
+            selected.len(),
+            "interchange constraints form a DAG"
+        );
     }
 
     // Read the tour starting after the dummy job.
@@ -159,7 +166,11 @@ pub fn gilmore_gomory_order(instance: &Instance) -> Vec<TaskId> {
         order.push(TaskId(j));
         j = successor[j];
     }
-    debug_assert_eq!(order.len(), n, "patched successor function must be a single tour");
+    debug_assert_eq!(
+        order.len(),
+        n,
+        "patched successor function must be a single tour"
+    );
     order
 }
 
@@ -286,9 +297,6 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(gilmore_gomory_order(&inst), vec![TaskId(0)]);
-        assert_eq!(
-            no_wait_makespan(&inst, &[TaskId(0)]),
-            Time::units_int(7)
-        );
+        assert_eq!(no_wait_makespan(&inst, &[TaskId(0)]), Time::units_int(7));
     }
 }

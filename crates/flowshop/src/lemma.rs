@@ -67,7 +67,7 @@ pub fn swap_does_not_improve(t1: Time, t2: Time, a: &Task, b: &Task) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::prelude::*;
 
     fn task(comm: u64, comp: u64) -> Task {
         Task::new(
@@ -120,41 +120,60 @@ mod tests {
         assert!(!swap_does_not_improve(Time::ZERO, Time::ZERO, &a, &b));
     }
 
-    proptest! {
-        /// Machine-check of Lemma 1: whenever one of the three conditions
-        /// holds, the swap never improves the pair completion time, for any
-        /// initial resource availability.
-        #[test]
-        fn lemma_holds_for_all_cases(
-            cm_a in 0u64..30, cp_a in 0u64..30,
-            cm_b in 0u64..30, cp_b in 0u64..30,
-            t1 in 0u64..20, t2 in 0u64..20,
-        ) {
-            let a = task(cm_a, cp_a);
-            let b = task(cm_b, cp_b);
-            if lemma_case(&a, &b).is_some() {
-                prop_assert!(swap_does_not_improve(
-                    Time::units_int(t1),
-                    Time::units_int(t2),
-                    &a,
-                    &b
-                ));
+    /// Draws a random `(a, b, t1, t2)` experiment from the same domains the
+    /// original proptest strategies used.
+    fn random_pair(rng: &mut StdRng) -> (Task, Task, Time, Time) {
+        let a = task(rng.gen_range(0u64..30), rng.gen_range(0u64..30));
+        let b = task(rng.gen_range(0u64..30), rng.gen_range(0u64..30));
+        let t1 = Time::units_int(rng.gen_range(0u64..20));
+        let t2 = Time::units_int(rng.gen_range(0u64..20));
+        (a, b, t1, t2)
+    }
+
+    /// Machine-check of Lemma 1: whenever one of the three conditions holds,
+    /// the swap never improves the pair completion time, for any initial
+    /// resource availability. Exhaustive over the task-pair domain at zero
+    /// offsets plus seeded random sampling of the full domain.
+    #[test]
+    fn lemma_holds_for_all_cases() {
+        for cm_a in 0u64..30 {
+            for cp_a in 0u64..30 {
+                for cm_b in 0u64..30 {
+                    for cp_b in 0u64..30 {
+                        let a = task(cm_a, cp_a);
+                        let b = task(cm_b, cp_b);
+                        if lemma_case(&a, &b).is_some() {
+                            assert!(
+                                swap_does_not_improve(Time::ZERO, Time::ZERO, &a, &b),
+                                "lemma violated for a=({cm_a},{cp_a}) b=({cm_b},{cp_b})"
+                            );
+                        }
+                    }
+                }
             }
         }
+        let mut rng = StdRng::seed_from_u64(0x1e3a);
+        for _ in 0..20_000 {
+            let (a, b, t1, t2) = random_pair(&mut rng);
+            if lemma_case(&a, &b).is_some() {
+                assert!(
+                    swap_does_not_improve(t1, t2, &a, &b),
+                    "lemma violated for a={a:?} b={b:?} t1={t1:?} t2={t2:?}"
+                );
+            }
+        }
+    }
 
-        /// The link completion time is order-independent (used implicitly in
-        /// the proof of Lemma 1).
-        #[test]
-        fn link_completion_is_order_independent(
-            cm_a in 0u64..30, cp_a in 0u64..30,
-            cm_b in 0u64..30, cp_b in 0u64..30,
-            t1 in 0u64..20, t2 in 0u64..20,
-        ) {
-            let a = task(cm_a, cp_a);
-            let b = task(cm_b, cp_b);
-            let (link_ab, _) = schedule_pair(Time::units_int(t1), Time::units_int(t2), &a, &b);
-            let (link_ba, _) = schedule_pair(Time::units_int(t1), Time::units_int(t2), &b, &a);
-            prop_assert_eq!(link_ab, link_ba);
+    /// The link completion time is order-independent (used implicitly in
+    /// the proof of Lemma 1).
+    #[test]
+    fn link_completion_is_order_independent() {
+        let mut rng = StdRng::seed_from_u64(0x117c);
+        for _ in 0..20_000 {
+            let (a, b, t1, t2) = random_pair(&mut rng);
+            let (link_ab, _) = schedule_pair(t1, t2, &a, &b);
+            let (link_ba, _) = schedule_pair(t1, t2, &b, &a);
+            assert_eq!(link_ab, link_ba, "a={a:?} b={b:?} t1={t1:?} t2={t2:?}");
         }
     }
 }

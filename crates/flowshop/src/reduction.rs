@@ -67,7 +67,8 @@ impl ThreePartitionInstance {
         let b = self.target();
         let mut used = vec![false; self.values.len()];
         let mut triplets = Vec::with_capacity(m);
-        self.solve_rec(b, &mut used, &mut triplets).then_some(triplets)
+        self.solve_rec(b, &mut used, &mut triplets)
+            .then_some(triplets)
     }
 
     fn solve_rec(&self, b: u64, used: &mut Vec<bool>, triplets: &mut Vec<[usize; 3]>) -> bool {
@@ -160,7 +161,9 @@ pub fn three_partition_to_dt(input: &ThreePartitionInstance) -> ReducedInstance 
         ));
     }
 
-    let instance = builder.build().expect("reduction always yields a valid instance");
+    let instance = builder
+        .build()
+        .expect("reduction always yields a valid instance");
     ReducedInstance {
         instance,
         b,
@@ -292,10 +295,7 @@ mod tests {
             reduced.instance.capacity(),
             MemSize::from_bytes(reduced.b_prime + 3)
         );
-        assert_eq!(
-            reduced.target_makespan,
-            Time::units_int(2 * (48 + 3))
-        );
+        assert_eq!(reduced.target_makespan, Time::units_int(2 * (48 + 3)));
         // Sum of communication times equals sum of computation times equals L.
         let stats = reduced.instance.stats();
         assert_eq!(stats.sum_comm, reduced.target_makespan);
@@ -331,7 +331,10 @@ mod tests {
             "{:?}",
             dts_core::feasibility::validate(&reduced.instance, &schedule)
         );
-        assert_eq!(schedule.makespan(&reduced.instance), reduced.target_makespan);
+        assert_eq!(
+            schedule.makespan(&reduced.instance),
+            reduced.target_makespan
+        );
     }
 
     #[test]

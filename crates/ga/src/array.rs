@@ -23,7 +23,10 @@ impl GlobalArray {
     /// # Panics
     /// Panics if there are no tiles or no processes.
     pub fn new(name: impl Into<String>, tile_shapes: Vec<TileShape>, n_processes: usize) -> Self {
-        assert!(!tile_shapes.is_empty(), "a global array needs at least one tile");
+        assert!(
+            !tile_shapes.is_empty(),
+            "a global array needs at least one tile"
+        );
         assert!(n_processes > 0, "a global array needs at least one process");
         GlobalArray {
             name: name.into(),
@@ -71,7 +74,11 @@ impl GlobalArray {
     /// Largest tile in bytes (relevant for the minimum memory capacity of
     /// the traces).
     pub fn max_tile_bytes(&self) -> u64 {
-        self.tile_shapes.iter().map(|s| s.bytes()).max().unwrap_or(0)
+        self.tile_shapes
+            .iter()
+            .map(|s| s.bytes())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -67,7 +67,10 @@ impl GaRuntime {
     /// Process `rank` fetches tile `tile` of `array`. Returns the bytes and
     /// transfer time and updates the per-process statistics.
     pub fn get(&self, rank: usize, array: &GlobalArray, tile: usize) -> GetOutcome {
-        assert!(rank < self.topology.n_processes(), "rank {rank} out of range");
+        assert!(
+            rank < self.topology.n_processes(),
+            "rank {rank} out of range"
+        );
         let owner = array.owner_of(tile);
         let bytes = array.tile_bytes(tile);
         let mut stats = self.stats[rank].lock();
@@ -149,13 +152,16 @@ mod tests {
         assert!(!out.local);
         assert_eq!(out.bytes, 80_000);
         assert!(out.transfer_micros > 0);
-        let out2 = rt.get(0, &ga, 2); // owner 2, other node
         // Single-route model: same cost regardless of the node.
+        let out2 = rt.get(0, &ga, 2); // owner 2, other node
         assert_eq!(out.transfer_micros, out2.transfer_micros);
         let stats = rt.stats_of(0);
         assert_eq!(stats.remote_gets, 2);
         assert_eq!(stats.remote_bytes, 160_000);
-        assert_eq!(stats.transfer_micros, out.transfer_micros + out2.transfer_micros);
+        assert_eq!(
+            stats.transfer_micros,
+            out.transfer_micros + out2.transfer_micros
+        );
     }
 
     #[test]

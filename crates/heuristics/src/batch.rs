@@ -87,8 +87,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let inst = random_instance_decoupled_memory(&mut rng, 57, 1.3);
         for h in [Heuristic::OOSIM, Heuristic::MAMR, Heuristic::OOLCMR] {
-            let sched =
-                run_heuristic_batched(&inst, h, BatchConfig { batch_size: 10 }).unwrap();
+            let sched = run_heuristic_batched(&inst, h, BatchConfig { batch_size: 10 }).unwrap();
             assert_eq!(sched.len(), inst.len());
             assert!(is_feasible(&inst, &sched), "{h}");
         }
@@ -100,8 +99,7 @@ mod tests {
         let inst = random_instance_decoupled_memory(&mut rng, 40, 1.5);
         let omim = johnson_makespan(&inst);
         let sched =
-            run_heuristic_batched(&inst, Heuristic::OOMAMR, BatchConfig { batch_size: 8 })
-                .unwrap();
+            run_heuristic_batched(&inst, Heuristic::OOMAMR, BatchConfig { batch_size: 8 }).unwrap();
         assert!(sched.makespan(&inst) >= omim);
         // ... and at least the batched OMIM reference.
         let batched_bound = batched_omim(&inst, BatchConfig { batch_size: 8 }).unwrap();

@@ -30,9 +30,7 @@ impl From<CorrectionCriterion> for SelectionCriterion {
     fn from(c: CorrectionCriterion) -> SelectionCriterion {
         match c {
             CorrectionCriterion::LargestCommunication => SelectionCriterion::LargestCommunication,
-            CorrectionCriterion::SmallestCommunication => {
-                SelectionCriterion::SmallestCommunication
-            }
+            CorrectionCriterion::SmallestCommunication => SelectionCriterion::SmallestCommunication,
             CorrectionCriterion::MaximumAcceleration => SelectionCriterion::MaximumAcceleration,
         }
     }
@@ -113,7 +111,10 @@ mod tests {
     fn fig6_oolcmr_schedule() {
         let inst = table5();
         let sched = run_corrected(&inst, CorrectionCriterion::LargestCommunication).unwrap();
-        assert_eq!(comm_order_names(&inst, &sched), vec!["B", "D", "A", "E", "C"]);
+        assert_eq!(
+            comm_order_names(&inst, &sched),
+            vec!["B", "D", "A", "E", "C"]
+        );
         assert_eq!(sched.makespan(&inst), Time::units_int(33));
         assert!(is_feasible(&inst, &sched));
     }
@@ -122,7 +123,10 @@ mod tests {
     fn fig6_ooscmr_schedule() {
         let inst = table5();
         let sched = run_corrected(&inst, CorrectionCriterion::SmallestCommunication).unwrap();
-        assert_eq!(comm_order_names(&inst, &sched), vec!["B", "E", "A", "D", "C"]);
+        assert_eq!(
+            comm_order_names(&inst, &sched),
+            vec!["B", "E", "A", "D", "C"]
+        );
         assert_eq!(sched.makespan(&inst), Time::units_int(35));
         assert!(is_feasible(&inst, &sched));
     }
@@ -131,7 +135,10 @@ mod tests {
     fn fig6_oomamr_schedule() {
         let inst = table5();
         let sched = run_corrected(&inst, CorrectionCriterion::MaximumAcceleration).unwrap();
-        assert_eq!(comm_order_names(&inst, &sched), vec!["B", "D", "E", "A", "C"]);
+        assert_eq!(
+            comm_order_names(&inst, &sched),
+            vec!["B", "D", "E", "A", "C"]
+        );
         assert_eq!(sched.makespan(&inst), Time::units_int(33));
         assert!(is_feasible(&inst, &sched));
     }
@@ -197,12 +204,9 @@ mod tests {
             let inst = random_instance_decoupled_memory(&mut rng, 15, 1.25);
             // Apply corrections on top of the submission order.
             let order = inst.task_ids();
-            let sched = run_corrected_with_order(
-                &inst,
-                &order,
-                CorrectionCriterion::MaximumAcceleration,
-            )
-            .unwrap();
+            let sched =
+                run_corrected_with_order(&inst, &order, CorrectionCriterion::MaximumAcceleration)
+                    .unwrap();
             assert!(is_feasible(&inst, &sched));
             assert_eq!(sched.len(), inst.len());
         }

@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(state.held_at(Time::units_int(7)), MemSize::ZERO);
         assert_eq!(state.link_free, Time::units_int(1));
         assert_eq!(state.cpu_free, Time::units_int(7));
-        assert_eq!(state.next_release_after(Time::ZERO), Some(Time::units_int(7)));
+        assert_eq!(
+            state.next_release_after(Time::ZERO),
+            Some(Time::units_int(7))
+        );
         assert_eq!(state.next_release_after(Time::units_int(7)), None);
     }
 
@@ -144,8 +147,9 @@ mod tests {
     fn fits_at_respects_capacity() {
         let inst = table4(); // capacity 6
         let mut state = EngineState::new(&inst);
-        state.commit(&inst, TaskId(1), Time::ZERO); // mem 1 until 7
-        state.commit(&inst, TaskId(3), Time::units_int(1)); // D: mem 5 until 8
+        // B holds mem 1 until t = 7, then D holds mem 5 until t = 8.
+        state.commit(&inst, TaskId(1), Time::ZERO);
+        state.commit(&inst, TaskId(3), Time::units_int(1));
         // At t = 6 nothing else fits (held 6).
         assert!(!state.fits_at(inst.task(TaskId(0)), Time::units_int(6)));
         // At t = 8 both releases happened.
@@ -156,7 +160,8 @@ mod tests {
     fn induced_idle_measures_cpu_gap() {
         let inst = table4();
         let mut state = EngineState::new(&inst);
-        state.commit(&inst, TaskId(1), Time::ZERO); // cpu_free = 7
+        // B first: cpu_free = 7.
+        state.commit(&inst, TaskId(1), Time::ZERO);
         // Starting A (comm 3) at t = 1 ends its transfer at 4 < 7: no idle.
         assert_eq!(
             state.induced_cpu_idle(inst.task(TaskId(0)), Time::units_int(1)),

@@ -334,6 +334,9 @@ mod tests {
         assert_eq!(total, Heuristic::ALL.len());
         assert_eq!(Heuristic::OOSIM.category(), HeuristicCategory::Static);
         assert_eq!(Heuristic::MAMR.category(), HeuristicCategory::Dynamic);
-        assert_eq!(Heuristic::OOMAMR.category(), HeuristicCategory::StaticDynamic);
+        assert_eq!(
+            Heuristic::OOMAMR.category(),
+            HeuristicCategory::StaticDynamic
+        );
     }
 }

@@ -269,7 +269,10 @@ mod tests {
         let sched = dts_core::simulate::simulate_sequence_infinite(&inst, &order).unwrap();
         let f = MilpFormulation::new(&inst);
         let violations = f.check(&sched);
-        assert!(violations.iter().any(|v| v.contains("memory")), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("memory")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -104,7 +104,11 @@ mod tests {
             assert_eq!(sweep.len(), 4);
             let m3 = sweep[0].1;
             let m6 = sweep[3].1;
-            assert!(m6 <= m3, "{}: lp.6 should not be worse than lp.3", inst.label);
+            assert!(
+                m6 <= m3,
+                "{}: lp.6 should not be worse than lp.3",
+                inst.label
+            );
         }
     }
 
@@ -129,7 +133,9 @@ mod tests {
             let inst = random_instance_decoupled_memory(&mut rng, 20, 1.25);
             let (_, best) = dts_heuristics::best_heuristic(&inst).unwrap();
             best_total += best.makespan(&inst);
-            lp4_total += lp_k(&inst, LpKConfig { window: 4 }).unwrap().makespan(&inst);
+            lp4_total += lp_k(&inst, LpKConfig { window: 4 })
+                .unwrap()
+                .makespan(&inst);
         }
         assert!(best_total <= lp4_total);
     }

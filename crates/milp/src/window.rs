@@ -97,7 +97,10 @@ pub fn simulate_window(
     let state_after = WindowState {
         link_free,
         cpu_free,
-        pending_releases: active.into_iter().filter(|(end, _)| *end > link_free).collect(),
+        pending_releases: active
+            .into_iter()
+            .filter(|(end, _)| *end > link_free)
+            .collect(),
     };
     (entries, state_after)
 }
@@ -157,9 +160,9 @@ mod tests {
 
     #[test]
     fn warm_started_window_respects_prior_memory() {
-        let inst = table3(); // capacity 6
-        // Pretend a previous window left 5 bytes held until t = 10 and the
-        // link free at t = 4.
+        // Table 3 (capacity 6). Pretend a previous window left 5 bytes
+        // held until t = 10 and the link free at t = 4.
+        let inst = table3();
         let state = WindowState {
             link_free: Time::units_int(4),
             cpu_free: Time::units_int(10),

@@ -31,11 +31,12 @@ fn main() {
 
     // Sweep the device memory from "just fits the largest kernel" to twice
     // that, as a GPU with more or less head-room.
-    println!("\n{:<10} {:>8} {:>10} {:>10} {:>14}", "device mem", "OS", "static", "dynamic", "static+dynamic");
+    println!(
+        "\n{:<10} {:>8} {:>10} {:>10} {:>14}",
+        "device mem", "OS", "static", "dynamic", "static+dynamic"
+    );
     for factor in [1.0, 1.25, 1.5, 2.0] {
-        let instance = trace
-            .to_instance_scaled(factor)
-            .expect("feasible capacity");
+        let instance = trace.to_instance_scaled(factor).expect("feasible capacity");
         let omim = johnson_makespan(&instance);
         let ratios: Vec<f64> = HeuristicCategory::ALL
             .iter()

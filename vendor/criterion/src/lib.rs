@@ -1,0 +1,171 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! Supports the benchmark surface the workspace uses: `Criterion::default()
+//! .sample_size(n)`, `bench_function`, `Bencher::iter`, [`black_box`], and
+//! the `criterion_group!`/`criterion_main!` macros (both the simple and the
+//! `name/config/targets` forms). Measurement is a plain wall-clock loop —
+//! one warm-up pass, then `sample_size` samples — reporting min/mean/max
+//! per iteration. No statistics engine, plots or baselines; swap the real
+//! crate back in for those.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver holding measurement configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line wall-clock summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up pass: populate caches and let lazy statics initialize.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let per_iter: Vec<Duration> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{id:<40} no samples recorded");
+            return self;
+        }
+        let min = per_iter.iter().min().unwrap();
+        let max = per_iter.iter().max().unwrap();
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max)
+        );
+        self
+    }
+}
+
+/// Per-sample timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the duration of one call as one sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_chains() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("smoke/a", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1))
+        })
+        .bench_function("smoke/b", |b| b.iter(|| black_box(2 * 2)));
+        // One warm-up call plus three samples.
+        assert_eq!(calls, 4);
+    }
+
+    criterion_group! {
+        name = long_form_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+    criterion_group!(short_form_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(0)));
+    }
+
+    #[test]
+    fn group_macros_produce_callables() {
+        long_form_group();
+        short_form_group();
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(5)), "5.00 s");
+    }
+}

@@ -1,0 +1,100 @@
+//! Vendored, API-compatible subset of `crossbeam`'s scoped threads.
+//!
+//! Implements `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since Rust 1.63, which makes the original's unsafe machinery
+//! unnecessary). Spawned closures receive a `&Scope` like crossbeam's, so
+//! nested spawns work, and the outer `scope` call returns `Err` instead of
+//! unwinding when a spawned thread panics.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked thread.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope in which threads borrowing local state can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so it
+        /// can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins all spawned threads
+    /// before returning. Returns `Err` if `f` or any non-joined thread
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, chunk) in slots.chunks_mut(3).enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    for slot in chunk.iter_mut() {
+                        *slot = i as u64 + 1;
+                    }
+                    i
+                }));
+            }
+            let ids: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert_eq!(ids, vec![0, 1, 2]);
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 1, 1, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let out = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,428 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the value-model API of
+//! the in-tree `serde` crate (`to_value`/`from_value`). Because `syn` and
+//! `quote` are unavailable in the build image, the item is parsed with a
+//! small hand-rolled scanner over `proc_macro::TokenStream` and the impl is
+//! emitted as a string.
+//!
+//! Supported shapes (everything the workspace derives on):
+//!
+//! * structs with named fields → JSON objects,
+//! * tuple structs with one field (incl. `#[serde(transparent)]`) → the
+//!   inner value,
+//! * tuple structs with n > 1 fields → arrays,
+//! * unit structs → `null`,
+//! * enums: unit variants → strings, data variants → externally tagged
+//!   single-key objects (serde's default representation).
+//!
+//! Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips outer attributes (`#[...]`, covering doc comments too) and
+/// visibility (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Extracts the field names of a `{ ... }` named-field group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!(
+                "expected field name, got {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        names.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        // Skip the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a `( ... )` tuple group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(group: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!(
+                "expected variant name, got {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an explicit discriminant and the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, got `{kind}`"));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic items are not supported by the vendored serde derive: `{name}`"
+        ));
+    }
+    if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, got {other:?}")),
+        }
+    } else {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => return Err(format!("expected struct body, got {other:?}")),
+        };
+        Ok(Item::Struct { name, fields })
+    }
+}
+
+/// Derives `serde::Serialize` (value-model `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => (name, serialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn serialize_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (variant, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{variant} => ::serde::Value::Str(::std::string::String::from({variant:?}))"
+            ),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{variant}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({variant:?}), {inner})])",
+                    binders.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let items: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({variant:?}), ::serde::Value::Object(::std::vec![{}]))])",
+                    field_names.join(", "),
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}
+
+/// Derives `serde::Deserialize` (value-model `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => (name, deserialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::serde::Error::unexpected(\"array of length {n}\", __other),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::Value::field(__value, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{\n{}\n}})",
+                items.join(",\n")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for (variant, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push(format!(
+                "{variant:?} => ::std::result::Result::Ok({name}::{variant})"
+            )),
+            Fields::Tuple(1) => data_arms.push(format!(
+                "{variant:?} => ::std::result::Result::Ok({name}::{variant}(::serde::Deserialize::from_value(__inner)?))"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{variant:?} => match __inner {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                             ::std::result::Result::Ok({name}::{variant}({})),\n\
+                         __other => ::serde::Error::unexpected(\"array of length {n}\", __other),\n\
+                     }}",
+                    items.join(", ")
+                ))
+            }
+            Fields::Named(field_names) => {
+                let items: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::Value::field(__inner, {f:?})?)?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "{variant:?} => ::std::result::Result::Ok({name}::{variant} {{\n{}\n}})",
+                    items.join(",\n")
+                ))
+            }
+        }
+    }
+    let unknown = format!(
+        "__other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other)))"
+    );
+    unit_arms.push(unknown.clone());
+    data_arms.push(unknown);
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit}\n}},\n\
+             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{data}\n}}\n\
+             }},\n\
+             __other => ::serde::Error::unexpected(\"enum representation\", __other),\n\
+         }}",
+        unit = unit_arms.join(",\n"),
+        data = data_arms.join(",\n")
+    )
+}
