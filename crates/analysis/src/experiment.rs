@@ -52,13 +52,23 @@ fn aggregate(rows: &[SweepRow]) -> Vec<ExperimentRow> {
     }
     grouped
         .into_iter()
-        .map(|((kernel, label, factor_millis), ratios)| ExperimentRow {
-            kernel,
-            factor: factor_millis as f64 / 1000.0,
-            label,
-            ratios: BoxplotStats::of(&ratios).expect("group is non-empty"),
+        .filter_map(|((kernel, label, factor_millis), ratios)| {
+            nan_free_stats(ratios).map(|ratios| ExperimentRow {
+                kernel,
+                factor: factor_millis as f64 / 1000.0,
+                label,
+                ratios,
+            })
         })
         .collect()
+}
+
+/// Summarizes a group of ratios, dropping NaN observations first: NaN has no
+/// place in an ordered summary, and a single degenerate ratio must not drop
+/// the whole group from a report. Returns `None` only when nothing remains.
+fn nan_free_stats(mut ratios: Vec<f64>) -> Option<BoxplotStats> {
+    ratios.retain(|r| !r.is_nan());
+    BoxplotStats::of(&ratios)
 }
 
 /// Figs. 10, 12 and 13: the best variant of each category (plus OS) at every
@@ -98,11 +108,14 @@ pub fn best_variant_experiment(
             }
         }
         for (label, ratios) in per_category {
+            let Some(ratios) = nan_free_stats(ratios) else {
+                continue;
+            };
             out.push(ExperimentRow {
                 kernel: traces.first().map(|t| t.kernel.clone()).unwrap_or_default(),
                 factor,
                 label,
-                ratios: BoxplotStats::of(&ratios).expect("non-empty"),
+                ratios,
             });
         }
     }
@@ -135,13 +148,17 @@ pub fn lp_comparison_experiment(
     Ok(out)
 }
 
+/// Per-capacity-factor list of `(category label, mean ratio)` pairs, as
+/// produced by [`category_means`].
+pub type CategoryMeans = Vec<(f64, Vec<(String, f64)>)>;
+
 /// Table 6: checks that each heuristic family behaves as expected in its
 /// favorable situation. Returns, per capacity factor, the mean ratio of the
 /// three categories — used by the `table6_favorable` bench and the tests to
 /// confirm e.g. that corrected heuristics win at moderate capacities.
-pub fn category_means(traces: &[Trace], factors: &[f64]) -> Result<Vec<(f64, Vec<(String, f64)>)>> {
+pub fn category_means(traces: &[Trace], factors: &[f64]) -> Result<CategoryMeans> {
     let rows = best_variant_experiment(traces, factors, None)?;
-    let mut out: Vec<(f64, Vec<(String, f64)>)> = Vec::new();
+    let mut out: CategoryMeans = Vec::new();
     for &factor in factors {
         let means: Vec<(String, f64)> = rows
             .iter()

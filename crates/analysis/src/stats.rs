@@ -30,13 +30,15 @@ pub struct BoxplotStats {
 
 impl BoxplotStats {
     /// Computes the statistics of a sample. Returns `None` for an empty
-    /// sample.
+    /// sample and for a sample containing NaN: quartiles of an unordered
+    /// value are meaningless, and rejecting NaN here keeps degenerate ratios
+    /// from crashing sweep reports downstream.
     pub fn of(sample: &[f64]) -> Option<Self> {
-        if sample.is_empty() {
+        if sample.is_empty() || sample.iter().any(|x| x.is_nan()) {
             return None;
         }
         let mut sorted: Vec<f64> = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let q1 = quantile(&sorted, 0.25);
@@ -128,6 +130,16 @@ mod tests {
         assert_eq!(s.q1, 7.5);
         assert_eq!(s.whisker_high, 7.5);
         assert!(BoxplotStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_not_panicked_on() {
+        assert!(BoxplotStats::of(&[f64::NAN]).is_none());
+        assert!(BoxplotStats::of(&[1.0, f64::NAN, 2.0]).is_none());
+        assert!(BoxplotStats::of(&[f64::NAN; 4]).is_none());
+        // Infinities are ordered, so they remain acceptable observations.
+        let s = BoxplotStats::of(&[1.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.max, f64::INFINITY);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use dts_core::prelude::*;
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The capacity factors of the paper's evaluation: `mc` to `2·mc` in steps
 /// of `0.125·mc`.
@@ -75,43 +76,119 @@ pub fn run_trace_sweep(trace: &Trace, config: &SweepConfig) -> Result<Vec<SweepR
     Ok(rows)
 }
 
+/// Runs one trace's sweep, converting a panic into [`CoreError::Internal`]
+/// so both the sequential and the pooled paths honor the same contract.
+fn catch_trace_panics(
+    index: usize,
+    sweep: impl FnOnce() -> Result<Vec<SweepRow>>,
+) -> Result<Vec<SweepRow>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(sweep)).unwrap_or_else(|payload| {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Err(CoreError::Internal(format!(
+            "sweep worker panicked on trace #{index}: {detail}"
+        )))
+    })
+}
+
 /// Runs the sweep over a whole suite of traces, spreading the traces over
 /// `threads` worker threads (each trace is independent).
+///
+/// Workers claim traces one at a time from a shared index instead of being
+/// handed fixed chunks, so a single slow trace (the HF/CCSD suites mix rank
+/// sizes that differ by orders of magnitude) delays only the worker running
+/// it while the others drain the rest of the suite. Rows come back in the
+/// same deterministic order as a sequential run regardless of which worker
+/// processed which trace.
+///
+/// # Errors
+///
+/// A failing trace stops the pool: the remaining workers claim no further
+/// traces, and among the failures observed the one with the lowest trace
+/// index is returned (so a single bad trace yields a stable error). A panic
+/// inside a trace is caught and reported as [`CoreError::Internal`] instead
+/// of poisoning the caller.
 pub fn run_suite_sweep(
     traces: &[Trace],
     config: &SweepConfig,
     threads: usize,
 ) -> Result<Vec<SweepRow>> {
     let threads = threads.clamp(1, traces.len().max(1));
-    let chunk_size = traces.len().div_ceil(threads);
-    let mut results: Vec<Result<Vec<SweepRow>>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = traces
-            .chunks(chunk_size.max(1))
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut rows = Vec::new();
-                    for trace in chunk {
-                        match run_trace_sweep(trace, config) {
-                            Ok(mut r) => rows.append(&mut r),
-                            Err(e) => return Err(e),
+    if threads <= 1 {
+        let mut rows = Vec::new();
+        for (index, trace) in traces.iter().enumerate() {
+            let mut trace_rows = catch_trace_panics(index, || run_trace_sweep(trace, config))?;
+            rows.append(&mut trace_rows);
+        }
+        return Ok(rows);
+    }
+
+    let next_trace = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let outcome = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut done: Vec<(usize, Vec<SweepRow>)> = Vec::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let index = next_trace.fetch_add(1, Ordering::Relaxed);
+                        let Some(trace) = traces.get(index) else {
+                            break;
+                        };
+                        // Catch panics per trace so a poisoned trace aborts
+                        // the pool as promptly as an error does, instead of
+                        // surfacing only when the worker is joined.
+                        let result = catch_trace_panics(index, || run_trace_sweep(trace, config));
+                        match result {
+                            Ok(rows) => done.push((index, rows)),
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err((index, e));
+                            }
                         }
                     }
-                    Ok(rows)
+                    Ok(done)
                 })
             })
             .collect();
+        let mut per_trace: Vec<(usize, Vec<SweepRow>)> = Vec::with_capacity(traces.len());
+        let mut first_error: Option<(usize, CoreError)> = None;
         for handle in handles {
-            results.push(handle.join().expect("sweep worker does not panic"));
+            match handle.join() {
+                Ok(Ok(mut part)) => per_trace.append(&mut part),
+                Ok(Err((index, e))) => {
+                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        first_error = Some((index, e));
+                    }
+                }
+                Err(_) => {
+                    // Unreachable (worker bodies catch panics), but joining
+                    // must stay panic-free.
+                    if first_error.is_none() {
+                        first_error = Some((
+                            usize::MAX,
+                            CoreError::Internal("a sweep worker thread panicked".into()),
+                        ));
+                    }
+                }
+            };
         }
-    })
-    .expect("sweep threads do not panic");
-
-    let mut rows = Vec::new();
-    for r in results {
-        rows.append(&mut r?);
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        per_trace.sort_unstable_by_key(|(index, _)| *index);
+        Ok(per_trace.into_iter().flat_map(|(_, rows)| rows).collect())
+    });
+    match outcome {
+        Ok(result) => result,
+        Err(_) => Err(CoreError::Internal("the sweep thread pool panicked".into())),
     }
-    Ok(rows)
 }
 
 #[cfg(test)]
@@ -171,5 +248,32 @@ mod tests {
         let parallel = run_suite_sweep(&traces, &config, 2).unwrap();
         assert_eq!(sequential.len(), traces.len() * 2 * 2);
         assert_eq!(sequential, parallel);
+        // More workers than traces: the extra workers find the queue empty
+        // and exit; the rows still come back in sequential order.
+        let oversubscribed = run_suite_sweep(&traces, &config, 64).unwrap();
+        assert_eq!(sequential, oversubscribed);
+    }
+
+    #[test]
+    fn suite_sweep_propagates_worker_errors() {
+        // An empty trace cannot be turned into an instance; the worker that
+        // claims it must surface the error instead of panicking the pool,
+        // whichever position the bad trace occupies.
+        let good = small_traces();
+        let bad = Trace {
+            kernel: "HF".into(),
+            rank: 999,
+            tasks: Vec::new(),
+        };
+        let config = SweepConfig {
+            heuristics: vec![Heuristic::OS],
+            factors: vec![1.0],
+        };
+        for position in 0..=good.len() {
+            let mut traces = good.clone();
+            traces.insert(position, bad.clone());
+            let err = run_suite_sweep(&traces, &config, 2).unwrap_err();
+            assert_eq!(err, dts_core::CoreError::EmptyInstance, "{position}");
+        }
     }
 }

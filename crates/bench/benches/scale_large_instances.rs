@@ -1,0 +1,55 @@
+//! Scale scenario: the dynamic and corrected heuristics on 1k/10k/50k-task
+//! random instances.
+//!
+//! The paper's evaluation (Figs. 9–13) stays below a few thousand tasks per
+//! trace, but the engine must also hold up on production-sized batches. The
+//! seed implementation rescanned every ever-committed task on each memory
+//! probe (cubic in tasks for the dynamic loops); the incremental engine
+//! keeps a running held-memory counter and a pruned release queue, so these
+//! runs complete in seconds rather than minutes. Set `DTS_BENCH_SCALE_MAX`
+//! (tasks, default 50000) to cap the largest instance attempted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_core::instances::random_instance_decoupled_memory;
+use dts_heuristics::{run_heuristic, Heuristic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn max_tasks() -> usize {
+    std::env::var("DTS_BENCH_SCALE_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000)
+}
+
+fn bench(c: &mut Criterion) {
+    let cap = max_tasks();
+    for n_tasks in [1_000usize, 10_000, 50_000] {
+        if n_tasks > cap {
+            continue;
+        }
+        // A tight capacity (1.2·mc) keeps memory the binding constraint, so
+        // the release queue actually works instead of degenerating to FIFO.
+        let mut rng = StdRng::seed_from_u64(n_tasks as u64);
+        let instance = random_instance_decoupled_memory(&mut rng, n_tasks, 1.2);
+        for heuristic in [Heuristic::LCMR, Heuristic::MAMR, Heuristic::OOLCMR] {
+            c.bench_function(
+                &format!("scale/{}_{}tasks", heuristic.name(), n_tasks),
+                |b| {
+                    b.iter(|| {
+                        run_heuristic(&instance, heuristic)
+                            .expect("heuristic runs")
+                            .makespan(&instance)
+                    })
+                },
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(1);
+    targets = bench
+}
+criterion_main!(benches);

@@ -28,11 +28,18 @@ pub enum CoreError {
         /// Number of entries supplied.
         got: usize,
     },
+    /// A sequence or schedule mentions the same task more than once.
+    DuplicateTask(TaskId),
     /// A schedule was found infeasible; the message summarizes the first
     /// violation.
     Infeasible(String),
     /// An I/O or serialization problem (message only, to stay `Eq`).
     Serialization(String),
+    /// An internal invariant was violated or a worker crashed — a bug in the
+    /// harness, not a property of the input. Kept distinct from
+    /// [`CoreError::Infeasible`] so callers never mistake a crash for a
+    /// data-dependent modeling outcome.
+    Internal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -48,8 +55,12 @@ impl fmt::Display for CoreError {
                 f,
                 "sequence must contain every task exactly once (expected {expected} tasks, got {got})"
             ),
+            CoreError::DuplicateTask(id) => {
+                write!(f, "sequence mentions task {id} more than once")
+            }
             CoreError::Infeasible(msg) => write!(f, "infeasible schedule: {msg}"),
             CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -73,5 +84,8 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("expected 5"));
+        assert!(CoreError::DuplicateTask(TaskId(2))
+            .to_string()
+            .contains("T2"));
     }
 }

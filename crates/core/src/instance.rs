@@ -29,19 +29,30 @@ impl Instance {
         if tasks.is_empty() {
             return Err(CoreError::EmptyInstance);
         }
-        for (i, t) in tasks.iter().enumerate() {
-            if t.mem > capacity {
-                return Err(CoreError::TaskExceedsCapacity {
-                    task: TaskId(i),
-                    name: t.name.clone(),
-                });
-            }
-        }
-        Ok(Instance {
+        let instance = Instance {
             tasks,
             capacity,
             label,
-        })
+        };
+        instance.check_tasks_fit()?;
+        Ok(instance)
+    }
+
+    /// Checks that every task individually fits in the capacity, returning
+    /// [`CoreError::TaskExceedsCapacity`] for the lowest-id violator.
+    /// Construction enforces this invariant, but instances deserialized from
+    /// untrusted sources bypass it, so executors re-validate before running —
+    /// an oversized task can never be scheduled, only waited on forever.
+    pub fn check_tasks_fit(&self) -> Result<()> {
+        for (id, task) in self.iter() {
+            if task.mem > self.capacity {
+                return Err(CoreError::TaskExceedsCapacity {
+                    task: id,
+                    name: task.name.clone(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of tasks.

@@ -20,6 +20,11 @@ use crate::task::TaskId;
 use crate::time::Time;
 
 /// Checks that `order` is a permutation of the instance's task set.
+///
+/// A wrong-length order is reported as [`CoreError::NotAPermutation`], an
+/// out-of-range id as [`CoreError::UnknownTask`] and a repeated id as
+/// [`CoreError::DuplicateTask`], so callers can tell the failure modes
+/// apart.
 pub fn check_permutation(instance: &Instance, order: &[TaskId]) -> Result<()> {
     if order.len() != instance.len() {
         return Err(CoreError::NotAPermutation {
@@ -33,10 +38,7 @@ pub fn check_permutation(instance: &Instance, order: &[TaskId]) -> Result<()> {
             return Err(CoreError::UnknownTask(*id));
         }
         if seen[id.index()] {
-            return Err(CoreError::NotAPermutation {
-                expected: instance.len(),
-                got: order.len(),
-            });
+            return Err(CoreError::DuplicateTask(*id));
         }
         seen[id.index()] = true;
     }
@@ -78,8 +80,20 @@ pub fn simulate_sequence_infinite(instance: &Instance, order: &[TaskId]) -> Resu
 /// computation releases its memory). Computations run in the same order,
 /// each starting as soon as its transfer is done and the processing unit is
 /// free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotAPermutation`], [`CoreError::DuplicateTask`] or
+/// [`CoreError::UnknownTask`] for an invalid order, and
+/// [`CoreError::TaskExceedsCapacity`] if a task can never fit in the
+/// instance's memory (possible only for instances that bypassed
+/// [`Instance::new`] validation, e.g. deserialized ones).
 pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedule> {
     check_permutation(instance, order)?;
+    // A task larger than the whole memory can never fit; waiting for
+    // releases would drain the queue and underflow. Construction enforces
+    // this, but deserialized instances can violate it.
+    instance.check_tasks_fit()?;
     let capacity = instance.capacity();
     let mut schedule = Schedule::with_capacity(order.len());
     let mut link_free = Time::ZERO;
@@ -87,33 +101,39 @@ pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedu
     // Active tasks as (computation end, memory held). Computation ends are
     // non-decreasing because computations run in sequence order on a single
     // processing unit, so this behaves like a FIFO of pending releases.
-    let mut active: Vec<(Time, u64)> = Vec::new();
+    let mut active: std::collections::VecDeque<(Time, u64)> = std::collections::VecDeque::new();
     let mut held: u64 = 0;
 
     for &id in order {
         let task = instance.task(id);
         let need = task.mem.bytes();
-        debug_assert!(
-            need <= capacity.bytes(),
-            "instance invariant: every task fits in the capacity"
-        );
 
         // Earliest start on the link.
         let mut start = link_free;
         // Release everything that completes no later than `start`.
-        while let Some(&(release, mem)) = active.first() {
+        while let Some(&(release, mem)) = active.front() {
             if release <= start {
                 held -= mem;
-                active.remove(0);
+                active.pop_front();
             } else {
                 break;
             }
         }
         // If the task still does not fit, wait for further releases. Memory
         // only decreases until we acquire, so stepping through release
-        // instants finds the earliest feasible start.
-        while held + need > capacity.bytes() {
-            let (release, mem) = active.remove(0);
+        // instants finds the earliest feasible start. The queue cannot run
+        // dry: `need <= capacity` was checked above, so a non-fitting task
+        // implies some memory is still held. An overflowing u64 sum cannot
+        // fit either (`capacity <= u64::MAX`), so treat it as over capacity;
+        // `held` then stays an exact sum, acquisitions are bounded by the
+        // capacity, and the release subtractions below cannot underflow.
+        while held
+            .checked_add(need)
+            .is_none_or(|total| total > capacity.bytes())
+        {
+            let (release, mem) = active.pop_front().ok_or_else(|| {
+                CoreError::Internal("memory accounting desynchronized from the active set".into())
+            })?;
             held -= mem;
             start = start.max(release);
         }
@@ -125,7 +145,7 @@ pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedu
         link_free = comm_end;
         cpu_free = comp_end;
         held += need;
-        active.push((comp_end, need));
+        active.push_back((comp_end, need));
         schedule.push(ScheduleEntry {
             task: id,
             comm_start,
@@ -253,12 +273,108 @@ mod tests {
         ));
         assert!(matches!(
             simulate_sequence(&inst, &ids(&[0, 1, 2, 2])),
-            Err(CoreError::NotAPermutation { .. })
+            Err(CoreError::DuplicateTask(TaskId(2)))
         ));
         assert!(matches!(
             simulate_sequence(&inst, &ids(&[0, 1, 2, 9])),
             Err(CoreError::UnknownTask(_))
         ));
+    }
+
+    #[test]
+    fn duplicates_rejected_by_every_entry_point() {
+        // The duplicated id (not the wrong length) must be reported by every
+        // public function that validates an order.
+        let inst = table3();
+        let dup = ids(&[0, 1, 1, 3]);
+        assert_eq!(
+            simulate_sequence(&inst, &dup).unwrap_err(),
+            CoreError::DuplicateTask(TaskId(1))
+        );
+        assert_eq!(
+            simulate_sequence_infinite(&inst, &dup).unwrap_err(),
+            CoreError::DuplicateTask(TaskId(1))
+        );
+        assert_eq!(
+            sequence_makespan(&inst, &dup).unwrap_err(),
+            CoreError::DuplicateTask(TaskId(1))
+        );
+        assert_eq!(
+            sequence_makespan_infinite(&inst, &dup).unwrap_err(),
+            CoreError::DuplicateTask(TaskId(1))
+        );
+        assert_eq!(
+            check_permutation(&inst, &dup).unwrap_err(),
+            CoreError::DuplicateTask(TaskId(1))
+        );
+    }
+
+    #[test]
+    fn oversized_task_returns_error_instead_of_panicking() {
+        // `Instance::new` rejects tasks larger than the capacity, but an
+        // instance deserialized from untrusted JSON can carry one; the
+        // executor must fail cleanly rather than drain the release queue and
+        // panic.
+        let json = r#"{
+            "tasks": [
+                {"name": "small", "comm_time": 1000, "comp_time": 1000, "mem": 2},
+                {"name": "huge", "comm_time": 2000, "comp_time": 1000, "mem": 9}
+            ],
+            "capacity": 4,
+            "label": "malformed"
+        }"#;
+        let inst: Instance = serde_json::from_str(json).unwrap();
+        let order = inst.task_ids();
+        assert_eq!(
+            simulate_sequence(&inst, &order).unwrap_err(),
+            CoreError::TaskExceedsCapacity {
+                task: TaskId(1),
+                name: "huge".into(),
+            }
+        );
+        assert_eq!(
+            sequence_makespan(&inst, &order).unwrap_err(),
+            CoreError::TaskExceedsCapacity {
+                task: TaskId(1),
+                name: "huge".into(),
+            }
+        );
+        // The infinite-memory executor ignores the capacity by design.
+        assert!(simulate_sequence_infinite(&inst, &order).is_ok());
+    }
+
+    #[test]
+    fn u64_scale_memory_does_not_overflow_the_accounting() {
+        // Each task fits the capacity on its own, but their sum overflows
+        // u64. The overflowing sum must count as "does not fit" (an exact
+        // sum would exceed any u64 capacity), so the executor serializes the
+        // tasks instead of panicking or wrapping into a full-memory-is-free
+        // schedule; the release bookkeeping must then drain exactly.
+        let huge = u64::MAX;
+        let json = format!(
+            r#"{{
+                "tasks": [
+                    {{"name": "a", "comm_time": 1000, "comp_time": 1000, "mem": {huge}}},
+                    {{"name": "b", "comm_time": 1000, "comp_time": 1000, "mem": 2}},
+                    {{"name": "c", "comm_time": 1000, "comp_time": 1000, "mem": 2}}
+                ],
+                "capacity": {huge},
+                "label": "u64-scale"
+            }}"#
+        );
+        let inst: Instance = serde_json::from_str(&json).unwrap();
+        let sched = simulate_sequence(&inst, &inst.task_ids()).unwrap();
+        assert_eq!(sched.len(), 3);
+        // b must wait for a's computation to release the whole memory.
+        assert_eq!(
+            sched.entry(TaskId(1)).unwrap().comm_start,
+            Time::from_ticks(2000)
+        );
+        // b and c (2 bytes each) overlap fine afterwards.
+        assert_eq!(
+            sched.entry(TaskId(2)).unwrap().comm_start,
+            Time::from_ticks(3000)
+        );
     }
 
     #[test]

@@ -183,9 +183,9 @@ pub fn schedule_for_orders(
                 next_event = next_event.min(comm_end[i]);
             }
         }
-        for i in 0..n {
-            if comp_end[i] != Time::MAX && comp_end[i] > now {
-                next_event = next_event.min(comp_end[i]);
+        for &end in comp_end.iter().take(n) {
+            if end != Time::MAX && end > now {
+                next_event = next_event.min(end);
             }
         }
         if next_event == Time::MAX {
@@ -236,7 +236,7 @@ pub fn optimal_free_order(instance: &Instance) -> ExactSolution {
         permute_all(&mut comp_perm, 0, &mut |comp_order| {
             if let Some(schedule) = schedule_for_orders(instance, comm_order, comp_order) {
                 let makespan = schedule.makespan(instance);
-                if best.as_ref().map_or(true, |(b, _)| makespan < *b) {
+                if best.as_ref().is_none_or(|(b, _)| makespan < *b) {
                     best = Some((makespan, schedule));
                 }
             }

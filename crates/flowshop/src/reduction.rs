@@ -33,12 +33,12 @@ impl ThreePartitionInstance {
     /// Creates an instance; `values.len()` must be a positive multiple of 3
     /// and the sum must be divisible by `m`.
     pub fn new(values: Vec<u64>) -> Option<Self> {
-        if values.is_empty() || values.len() % 3 != 0 {
+        if values.is_empty() || !values.len().is_multiple_of(3) {
             return None;
         }
         let m = values.len() / 3;
         let total: u64 = values.iter().sum();
-        if total % m as u64 != 0 {
+        if !total.is_multiple_of(m as u64) {
             return None;
         }
         Some(ThreePartitionInstance { values })
@@ -239,7 +239,7 @@ impl ReducedInstance {
                     comm_start,
                     comp_start: comp_cursor,
                 });
-                comp_cursor = comp_cursor + self.instance.task(task_id).comp_time;
+                comp_cursor += self.instance.task(task_id).comp_time;
             }
         }
         schedule

@@ -52,7 +52,7 @@ pub fn run_heuristic_batched(
                 comp_start: entry.comp_start + offset,
             });
         }
-        offset = offset + sub_schedule.makespan(&sub);
+        offset += sub_schedule.makespan(&sub);
     }
     Ok(global)
 }
@@ -68,7 +68,7 @@ pub fn batched_omim(instance: &Instance, config: BatchConfig) -> Result<Time> {
     let mut total = Time::ZERO;
     for batch in ids.chunks(config.batch_size) {
         let sub = instance.sub_instance(batch)?;
-        total = total + dts_flowshop::johnson::johnson_makespan(&sub);
+        total += dts_flowshop::johnson::johnson_makespan(&sub);
     }
     Ok(total)
 }

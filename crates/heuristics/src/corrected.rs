@@ -51,39 +51,59 @@ pub fn run_corrected_with_order(
     criterion: CorrectionCriterion,
 ) -> Result<Schedule> {
     dts_core::simulate::check_permutation(instance, order)?;
+    instance.check_tasks_fit()?;
     let selection: SelectionCriterion = criterion.into();
     let mut state = EngineState::new(instance);
-    let mut pending: Vec<TaskId> = order.to_vec();
+    // The pending set is the suffix of `order` starting at `cursor`, minus
+    // the positions already scheduled by a dynamic correction. This keeps
+    // every removal O(1) where a `Vec::remove(0)`/`retain` pending list
+    // shifted O(n) elements per decision.
+    let mut scheduled = vec![false; order.len()];
+    let mut position_of = vec![0usize; order.len()];
+    for (pos, id) in order.iter().enumerate() {
+        position_of[id.index()] = pos;
+    }
+    let mut cursor = 0usize;
+    let mut left = order.len();
+    let mut fitting: Vec<TaskId> = Vec::with_capacity(order.len());
     let mut now = Time::ZERO;
 
-    while !pending.is_empty() {
+    while left > 0 {
         now = now.max(state.link_free);
-        let next = pending[0];
+        state.release_up_to(now);
+        while cursor < order.len() && scheduled[cursor] {
+            cursor += 1;
+        }
+        let next = order[cursor];
         if state.fits_at(instance.task(next), now) {
             // Follow the precomputed order.
             state.commit(instance, next, now);
-            pending.remove(0);
+            scheduled[cursor] = true;
+            cursor += 1;
+            left -= 1;
             continue;
         }
         // The next task of the order does not fit: correct dynamically.
-        let fitting: Vec<TaskId> = pending
-            .iter()
-            .copied()
-            .filter(|id| state.fits_at(instance.task(*id), now))
-            .collect();
+        fitting.clear();
+        for pos in cursor..order.len() {
+            if !scheduled[pos] && state.fits_at(instance.task(order[pos]), now) {
+                fitting.push(order[pos]);
+            }
+        }
         if fitting.is_empty() {
             let next_release = state
                 .next_release_after(now)
-                .expect("no fitting task implies some task is still holding memory");
+                .ok_or_else(|| CoreError::Internal("no task fits yet no memory is held".into()))?;
             now = next_release;
             continue;
         }
         let best_idle = filter_minimum_cpu_idle(instance, &state, &fitting, now);
         let chosen = selection
             .choose(instance, &best_idle)
-            .expect("filter preserves at least one candidate");
+            .ok_or_else(|| CoreError::Internal("min-idle filter emptied the candidates".into()))?;
         state.commit(instance, chosen, now);
-        pending.retain(|id| *id != chosen);
+        scheduled[position_of[chosen.index()]] = true;
+        left -= 1;
     }
     Ok(state.schedule)
 }
@@ -221,5 +241,17 @@ mod tests {
             CorrectionCriterion::LargestCommunication,
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicated_order_reports_the_repeated_task() {
+        let inst = table5();
+        let err = run_corrected_with_order(
+            &inst,
+            &[TaskId(0), TaskId(1), TaskId(1), TaskId(3), TaskId(4)],
+            CorrectionCriterion::LargestCommunication,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::DuplicateTask(TaskId(1)));
     }
 }

@@ -48,36 +48,55 @@ impl SelectionCriterion {
 }
 
 /// Runs a dynamic heuristic to completion and returns the schedule.
+///
+/// # Errors
+///
+/// Returns [`CoreError::TaskExceedsCapacity`] if a task can never fit in the
+/// instance's memory (possible only for instances that bypassed
+/// [`Instance::new`] validation, e.g. deserialized ones) — such a task
+/// would otherwise stall the selection loop forever.
 pub fn run_dynamic(instance: &Instance, criterion: SelectionCriterion) -> Result<Schedule> {
+    instance.check_tasks_fit()?;
     let mut state = EngineState::new(instance);
     let mut remaining: Vec<TaskId> = instance.task_ids();
+    // Position of each task inside `remaining`, for O(1) swap-removal.
+    let mut slot: Vec<usize> = (0..remaining.len()).collect();
+    let mut fitting: Vec<TaskId> = Vec::with_capacity(remaining.len());
     let mut now = Time::ZERO;
 
     while !remaining.is_empty() {
         now = now.max(state.link_free);
-        // Candidates: remaining tasks that fit in memory at `now`.
-        let fitting: Vec<TaskId> = remaining
-            .iter()
-            .copied()
-            .filter(|id| state.fits_at(instance.task(*id), now))
-            .collect();
+        state.release_up_to(now);
+        // Candidates: remaining tasks that fit in memory at `now`. The
+        // selection criteria break ties by task id, so the iteration order
+        // of `remaining` (scrambled by swap-removal) does not matter.
+        fitting.clear();
+        fitting.extend(
+            remaining
+                .iter()
+                .copied()
+                .filter(|id| state.fits_at(instance.task(*id), now)),
+        );
         if fitting.is_empty() {
             // Leave the link idle until the next memory release. A release
             // always exists here: otherwise the memory would be empty and
-            // every task would fit (instance construction guarantees each
-            // task fits in the capacity alone).
+            // every task would fit (oversized tasks were rejected above).
             let next = state
                 .next_release_after(now)
-                .expect("no fitting task implies some task is still holding memory");
+                .ok_or_else(|| CoreError::Internal("no task fits yet no memory is held".into()))?;
             now = next;
             continue;
         }
         let best_idle = filter_minimum_cpu_idle(instance, &state, &fitting, now);
         let chosen = criterion
             .choose(instance, &best_idle)
-            .expect("filter preserves at least one candidate");
+            .ok_or_else(|| CoreError::Internal("min-idle filter emptied the candidates".into()))?;
         state.commit(instance, chosen, now);
-        remaining.retain(|id| *id != chosen);
+        let at = slot[chosen.index()];
+        remaining.swap_remove(at);
+        if let Some(&moved) = remaining.get(at) {
+            slot[moved.index()] = at;
+        }
     }
     Ok(state.schedule)
 }

@@ -4,8 +4,22 @@
 //! being constructed task by task: availability of the communication link
 //! and of the processing unit, and the set of *active* tasks (transfer
 //! started, computation not yet finished) that currently hold memory.
+//!
+//! # Complexity
+//!
+//! The decision loops of [`run_dynamic`](crate::dynamic::run_dynamic) and
+//! [`run_corrected_with_order`](crate::corrected::run_corrected_with_order)
+//! probe the memory state once per candidate per decision. To keep those
+//! probes cheap the engine maintains a running total of the memory held
+//! ([`EngineState::held`]) next to a queue of pending releases ordered by
+//! computation end. Callers advance the engine with
+//! [`EngineState::release_up_to`] as their clock moves forward; after that,
+//! [`EngineState::held_at`] at the current instant is O(1) and
+//! [`EngineState::next_release_after`] is O(log n), instead of the full
+//! rescan of every ever-committed task the previous implementation did.
 
 use dts_core::prelude::*;
+use std::collections::VecDeque;
 
 /// Mutable scheduling state used by the decision-driven heuristics.
 #[derive(Debug, Clone)]
@@ -14,10 +28,16 @@ pub struct EngineState {
     pub link_free: Time,
     /// Instant at which the processing unit becomes free.
     pub cpu_free: Time,
-    /// Active tasks as `(computation end, memory held)`, kept sorted by
-    /// computation end (computations run one at a time, so pushes are already
-    /// in non-decreasing order).
-    active: Vec<(Time, MemSize)>,
+    /// Pending memory releases as `(computation end, memory held)`, ordered
+    /// by computation end (computations run one at a time, so pushes are
+    /// already in non-decreasing order). Entries released by
+    /// [`EngineState::release_up_to`] are popped from the front.
+    releases: VecDeque<(Time, MemSize)>,
+    /// Sum of the memory held by the queued releases.
+    held: MemSize,
+    /// Every release at or before this instant has been pruned from the
+    /// queue; memory queries must not go back before it.
+    released_up_to: Time,
     /// Capacity of the local memory.
     capacity: MemSize,
     /// Schedule built so far.
@@ -30,26 +50,70 @@ impl EngineState {
         EngineState {
             link_free: Time::ZERO,
             cpu_free: Time::ZERO,
-            active: Vec::new(),
+            releases: VecDeque::new(),
+            held: MemSize::ZERO,
+            released_up_to: Time::ZERO,
             capacity: instance.capacity(),
             schedule: Schedule::with_capacity(instance.len()),
         }
     }
 
+    /// Drops every pending release happening at or before `t` and folds it
+    /// into the running `held` total. The heuristic loops call this once per
+    /// decision instant, which makes every subsequent [`held_at`] probe at
+    /// `t` O(1).
+    ///
+    /// [`held_at`]: EngineState::held_at
+    pub fn release_up_to(&mut self, t: Time) {
+        while let Some(&(end, mem)) = self.releases.front() {
+            if end <= t {
+                self.held = self.held.saturating_sub(mem);
+                self.releases.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.released_up_to = self.released_up_to.max(t);
+    }
+
     /// Memory still held at instant `t`: active tasks whose computation ends
     /// strictly after `t` (a release at exactly `t` is already effective,
     /// matching the schedules of the paper's figures).
+    ///
+    /// Queries at the pruning point cost O(1); queries further in the future
+    /// scan only the releases in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes an instant already passed to
+    /// [`release_up_to`](EngineState::release_up_to) — releases before that
+    /// point have been discarded, so the state cannot answer for the past
+    /// and silently under-reporting would let infeasible commits through.
     pub fn held_at(&self, t: Time) -> MemSize {
-        self.active
+        assert!(
+            t >= self.released_up_to,
+            "memory query at {t} precedes releases already pruned at {}",
+            self.released_up_to
+        );
+        let released: MemSize = self
+            .releases
             .iter()
-            .filter(|(end, _)| *end > t)
+            .take_while(|(end, _)| *end <= t)
             .map(|(_, mem)| *mem)
-            .sum()
+            .sum();
+        self.held.saturating_sub(released)
     }
 
-    /// `true` iff `task` fits in the memory remaining at instant `t`.
+    /// `true` iff `task` fits in the memory remaining at instant `t`. An
+    /// exact sum that overflows `u64` cannot fit under any capacity, so it
+    /// counts as not fitting — the same convention as
+    /// [`simulate_sequence`](dts_core::simulate::simulate_sequence), which
+    /// also keeps the engine's held-memory counter an exact sum.
     pub fn fits_at(&self, task: &Task, t: Time) -> bool {
-        self.held_at(t).saturating_add(task.mem) <= self.capacity
+        self.held_at(t)
+            .bytes()
+            .checked_add(task.mem.bytes())
+            .is_some_and(|total| total <= self.capacity.bytes())
     }
 
     /// Idle time that starting `task`'s transfer at instant `t` would induce
@@ -60,13 +124,24 @@ impl EngineState {
     }
 
     /// The next instant after `t` at which some active task releases its
-    /// memory, if any. Used to advance time when nothing fits.
+    /// memory, if any. Used to advance time when nothing fits. O(log n) by
+    /// binary search on the sorted release queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes an instant already passed to
+    /// [`release_up_to`](EngineState::release_up_to), for the same reason as
+    /// [`held_at`](EngineState::held_at): pruned releases cannot be
+    /// reported, and silently skipping them would make callers jump past
+    /// real release instants.
     pub fn next_release_after(&self, t: Time) -> Option<Time> {
-        self.active
-            .iter()
-            .map(|(end, _)| *end)
-            .filter(|end| *end > t)
-            .min()
+        assert!(
+            t >= self.released_up_to,
+            "release query at {t} precedes releases already pruned at {}",
+            self.released_up_to
+        );
+        let idx = self.releases.partition_point(|(end, _)| *end <= t);
+        self.releases.get(idx).map(|(end, _)| *end)
     }
 
     /// Commits `task` (with id `id`) to start its transfer at instant `t`.
@@ -80,13 +155,15 @@ impl EngineState {
         let task = instance.task(id);
         debug_assert!(t >= self.link_free, "transfer would overlap the link");
         debug_assert!(self.fits_at(task, t), "task does not fit in memory");
+        self.release_up_to(t);
         let comm_start = t;
         let comm_end = comm_start + task.comm_time;
         let comp_start = comm_end.max(self.cpu_free);
         let comp_end = comp_start + task.comp_time;
         self.link_free = comm_end;
         self.cpu_free = comp_end;
-        self.active.push((comp_end, task.mem));
+        self.releases.push_back((comp_end, task.mem));
+        self.held = self.held.saturating_add(task.mem);
         self.schedule.push(ScheduleEntry {
             task: id,
             comm_start,
@@ -141,6 +218,30 @@ mod tests {
             Some(Time::units_int(7))
         );
         assert_eq!(state.next_release_after(Time::units_int(7)), None);
+    }
+
+    #[test]
+    fn release_up_to_prunes_and_preserves_queries() {
+        let inst = table4();
+        let mut state = EngineState::new(&inst);
+        // B (comp ends at 7, mem 1) then D (comm [1,6), comp [7,8), mem 5).
+        state.commit(&inst, TaskId(1), Time::ZERO);
+        state.commit(&inst, TaskId(3), Time::units_int(1));
+        assert_eq!(state.held_at(Time::units_int(6)), MemSize::from_bytes(6));
+        // Pruning at 7 releases B but keeps D queued.
+        state.release_up_to(Time::units_int(7));
+        assert_eq!(state.held_at(Time::units_int(7)), MemSize::from_bytes(5));
+        assert_eq!(
+            state.next_release_after(Time::units_int(7)),
+            Some(Time::units_int(8))
+        );
+        // Pruning at 8 empties the queue.
+        state.release_up_to(Time::units_int(8));
+        assert_eq!(state.held_at(Time::units_int(8)), MemSize::ZERO);
+        assert_eq!(state.next_release_after(Time::units_int(8)), None);
+        // Pruning past the end stays consistent.
+        state.release_up_to(Time::units_int(100));
+        assert_eq!(state.held_at(Time::units_int(100)), MemSize::ZERO);
     }
 
     #[test]

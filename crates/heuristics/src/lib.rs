@@ -235,7 +235,7 @@ pub fn best_heuristic(instance: &Instance) -> Result<(Heuristic, Schedule)> {
     for &h in &Heuristic::ALL {
         let schedule = run_heuristic(instance, h)?;
         let makespan = schedule.makespan(instance);
-        if best.as_ref().map_or(true, |(_, _, m)| makespan < *m) {
+        if best.as_ref().is_none_or(|(_, _, m)| makespan < *m) {
             best = Some((h, schedule, makespan));
         }
     }

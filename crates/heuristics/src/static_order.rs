@@ -43,9 +43,9 @@ fn sorted_by<K: Ord>(
 ) -> Vec<TaskId> {
     let mut ids = instance.task_ids();
     if descending {
-        ids.sort_by(|a, b| key(instance.task(*b)).cmp(&key(instance.task(*a))));
+        ids.sort_by_key(|a| std::cmp::Reverse(key(instance.task(*a))));
     } else {
-        ids.sort_by(|a, b| key(instance.task(*a)).cmp(&key(instance.task(*b))));
+        ids.sort_by_key(|a| key(instance.task(*a)));
     }
     ids
 }

@@ -121,7 +121,7 @@ pub fn solve_window(instance: &Instance, state: &WindowState, window: &[TaskId])
         let key = (after.cpu_free, after.link_free);
         if best
             .as_ref()
-            .map_or(true, |(cpu, link, _, _)| key < (*cpu, *link))
+            .is_none_or(|(cpu, link, _, _)| key < (*cpu, *link))
         {
             best = Some((after.cpu_free, after.link_free, entries, after));
         }
