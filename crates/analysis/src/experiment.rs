@@ -9,7 +9,7 @@ use dts_heuristics::{
     batch::{run_heuristic_batched, BatchConfig},
     best_in_category, Heuristic, HeuristicCategory,
 };
-use dts_milp::{lp_k, LpKConfig};
+use dts_milp::lp_k_sweep;
 use serde::{Deserialize, Serialize};
 
 /// One aggregated experiment data point: a heuristic (or category/lp.k
@@ -140,8 +140,9 @@ pub fn lp_comparison_experiment(
             let makespan = dts_heuristics::run_heuristic(&instance, heuristic)?.makespan(&instance);
             out.push((heuristic.name().to_string(), factor, makespan.ratio(omim)));
         }
-        for k in LpKConfig::PAPER_WINDOW_SIZES {
-            let makespan = lp_k(&instance, LpKConfig { window: k })?.makespan(&instance);
+        // The sweep solves the four window sizes on parallel workers; rows
+        // come back in the paper's `lp.3`..`lp.6` order either way.
+        for (k, makespan) in lp_k_sweep(&instance)? {
             out.push((format!("lp.{k}"), factor, makespan.ratio(omim)));
         }
     }

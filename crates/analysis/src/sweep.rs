@@ -1,11 +1,11 @@
 //! Memory-capacity sweeps over traces.
 
 use dts_chem::Trace;
+use dts_core::pool::run_indexed_pool;
 use dts_core::prelude::*;
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The capacity factors of the paper's evaluation: `mc` to `2·mc` in steps
 /// of `0.125·mc`.
@@ -53,6 +53,22 @@ pub struct SweepRow {
 }
 
 /// Runs every configured heuristic on one trace across the capacity sweep.
+///
+/// ```
+/// use dts_analysis::sweep::{run_trace_sweep, SweepConfig};
+/// use dts_chem::suite::{generate_partial_suite, SuiteConfig};
+/// use dts_chem::Kernel;
+/// use dts_heuristics::Heuristic;
+///
+/// let traces = generate_partial_suite(Kernel::HartreeFock, &SuiteConfig::small(), 1);
+/// let config = SweepConfig {
+///     heuristics: vec![Heuristic::OS, Heuristic::OOLCMR],
+///     factors: vec![1.0, 2.0],
+/// };
+/// let rows = run_trace_sweep(&traces[0], &config).unwrap();
+/// assert_eq!(rows.len(), 4); // 2 heuristics x 2 capacity factors
+/// assert!(rows.iter().all(|r| r.ratio >= 1.0 - 1e-12)); // never beats OMIM
+/// ```
 pub fn run_trace_sweep(trace: &Trace, config: &SweepConfig) -> Result<Vec<SweepRow>> {
     let mut rows = Vec::with_capacity(config.heuristics.len() * config.factors.len());
     let unbounded = trace.to_instance(MemSize::UNBOUNDED)?;
@@ -76,24 +92,6 @@ pub fn run_trace_sweep(trace: &Trace, config: &SweepConfig) -> Result<Vec<SweepR
     Ok(rows)
 }
 
-/// Runs one trace's sweep, converting a panic into [`CoreError::Internal`]
-/// so both the sequential and the pooled paths honor the same contract.
-fn catch_trace_panics(
-    index: usize,
-    sweep: impl FnOnce() -> Result<Vec<SweepRow>>,
-) -> Result<Vec<SweepRow>> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(sweep)).unwrap_or_else(|payload| {
-        let detail = payload
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".into());
-        Err(CoreError::Internal(format!(
-            "sweep worker panicked on trace #{index}: {detail}"
-        )))
-    })
-}
-
 /// Runs the sweep over a whole suite of traces, spreading the traces over
 /// `threads` worker threads (each trace is independent).
 ///
@@ -111,84 +109,31 @@ fn catch_trace_panics(
 /// index is returned (so a single bad trace yields a stable error). A panic
 /// inside a trace is caught and reported as [`CoreError::Internal`] instead
 /// of poisoning the caller.
+///
+/// ```
+/// use dts_analysis::sweep::{run_suite_sweep, SweepConfig};
+/// use dts_chem::suite::{generate_partial_suite, SuiteConfig};
+/// use dts_chem::Kernel;
+/// use dts_heuristics::Heuristic;
+///
+/// let traces = generate_partial_suite(Kernel::HartreeFock, &SuiteConfig::small(), 2);
+/// let config = SweepConfig {
+///     heuristics: vec![Heuristic::MAMR],
+///     factors: vec![1.0],
+/// };
+/// // Worker count only affects wall-clock time, never the rows.
+/// let parallel = run_suite_sweep(&traces, &config, 2).unwrap();
+/// assert_eq!(parallel, run_suite_sweep(&traces, &config, 1).unwrap());
+/// ```
 pub fn run_suite_sweep(
     traces: &[Trace],
     config: &SweepConfig,
     threads: usize,
 ) -> Result<Vec<SweepRow>> {
-    let threads = threads.clamp(1, traces.len().max(1));
-    if threads <= 1 {
-        let mut rows = Vec::new();
-        for (index, trace) in traces.iter().enumerate() {
-            let mut trace_rows = catch_trace_panics(index, || run_trace_sweep(trace, config))?;
-            rows.append(&mut trace_rows);
-        }
-        return Ok(rows);
-    }
-
-    let next_trace = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let outcome = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|_| {
-                    let mut done: Vec<(usize, Vec<SweepRow>)> = Vec::new();
-                    loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let index = next_trace.fetch_add(1, Ordering::Relaxed);
-                        let Some(trace) = traces.get(index) else {
-                            break;
-                        };
-                        // Catch panics per trace so a poisoned trace aborts
-                        // the pool as promptly as an error does, instead of
-                        // surfacing only when the worker is joined.
-                        let result = catch_trace_panics(index, || run_trace_sweep(trace, config));
-                        match result {
-                            Ok(rows) => done.push((index, rows)),
-                            Err(e) => {
-                                abort.store(true, Ordering::Relaxed);
-                                return Err((index, e));
-                            }
-                        }
-                    }
-                    Ok(done)
-                })
-            })
-            .collect();
-        let mut per_trace: Vec<(usize, Vec<SweepRow>)> = Vec::with_capacity(traces.len());
-        let mut first_error: Option<(usize, CoreError)> = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(Ok(mut part)) => per_trace.append(&mut part),
-                Ok(Err((index, e))) => {
-                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
-                        first_error = Some((index, e));
-                    }
-                }
-                Err(_) => {
-                    // Unreachable (worker bodies catch panics), but joining
-                    // must stay panic-free.
-                    if first_error.is_none() {
-                        first_error = Some((
-                            usize::MAX,
-                            CoreError::Internal("a sweep worker thread panicked".into()),
-                        ));
-                    }
-                }
-            };
-        }
-        if let Some((_, e)) = first_error {
-            return Err(e);
-        }
-        per_trace.sort_unstable_by_key(|(index, _)| *index);
-        Ok(per_trace.into_iter().flat_map(|(_, rows)| rows).collect())
-    });
-    match outcome {
-        Ok(result) => result,
-        Err(_) => Err(CoreError::Internal("the sweep thread pool panicked".into())),
-    }
+    let per_trace = run_indexed_pool(traces.len(), threads, |index| {
+        run_trace_sweep(&traces[index], config)
+    })?;
+    Ok(per_trace.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

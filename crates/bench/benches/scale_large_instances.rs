@@ -1,17 +1,23 @@
-//! Scale scenario: the dynamic and corrected heuristics on 1k/10k/50k-task
-//! random instances.
+//! Scale scenario: the dynamic and corrected heuristics, the iterative
+//! `lp.k` heuristic and batched scheduling on 1k/10k/50k-task random
+//! instances.
 //!
 //! The paper's evaluation (Figs. 9–13) stays below a few thousand tasks per
 //! trace, but the engine must also hold up on production-sized batches. The
-//! seed implementation rescanned every ever-committed task on each memory
-//! probe (cubic in tasks for the dynamic loops); the incremental engine
-//! keeps a running held-memory counter and a pruned release queue, so these
-//! runs complete in seconds rather than minutes. Set `DTS_BENCH_SCALE_MAX`
-//! (tasks, default 50000) to cap the largest instance attempted.
+//! dynamic/corrected decision loops resolve each decision with O(log n)
+//! threshold queries against a memory-indexed candidate structure
+//! (`dts_core::index::CandidateIndex`) instead of scanning every remaining
+//! task, and batched runs solve their batches on parallel workers; this
+//! bench pins both wins (see the Performance section of the README for
+//! recorded numbers). Set `DTS_BENCH_SCALE_MAX` (tasks, default 50000) to
+//! cap the largest instance attempted.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dts_core::instances::random_instance_decoupled_memory;
-use dts_heuristics::{run_heuristic, Heuristic};
+use dts_heuristics::{
+    run_heuristic, run_heuristic_batched, run_heuristic_batched_pooled, BatchConfig, Heuristic,
+};
+use dts_milp::{lp_k, LpKConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,7 +35,8 @@ fn bench(c: &mut Criterion) {
             continue;
         }
         // A tight capacity (1.2·mc) keeps memory the binding constraint, so
-        // the release queue actually works instead of degenerating to FIFO.
+        // the candidate index actually gates on memory instead of
+        // degenerating to FIFO.
         let mut rng = StdRng::seed_from_u64(n_tasks as u64);
         let instance = random_instance_decoupled_memory(&mut rng, n_tasks, 1.2);
         for heuristic in [Heuristic::LCMR, Heuristic::MAMR, Heuristic::OOLCMR] {
@@ -44,6 +51,35 @@ fn bench(c: &mut Criterion) {
                 },
             );
         }
+        // The iterative MILP heuristic: 250 windows per 1k tasks at k = 4.
+        c.bench_function(&format!("scale/lp4_{n_tasks}tasks"), |b| {
+            b.iter(|| {
+                lp_k(&instance, LpKConfig { window: 4 })
+                    .expect("lp.4 runs")
+                    .makespan(&instance)
+            })
+        });
+        // Batched scheduling (paper batch size 100): the batches are solved
+        // speculatively in parallel and stitched; the single-worker variant
+        // is kept as the reference point for the parallel speedup.
+        let config = BatchConfig { batch_size: 100 };
+        c.bench_function(&format!("scale/batched_OOLCMR_{n_tasks}tasks"), |b| {
+            b.iter(|| {
+                run_heuristic_batched(&instance, Heuristic::OOLCMR, config)
+                    .expect("batched heuristic runs")
+                    .makespan(&instance)
+            })
+        });
+        c.bench_function(
+            &format!("scale/batched_OOLCMR_1worker_{n_tasks}tasks"),
+            |b| {
+                b.iter(|| {
+                    run_heuristic_batched_pooled(&instance, Heuristic::OOLCMR, config, 1)
+                        .expect("batched heuristic runs")
+                        .makespan(&instance)
+                })
+            },
+        );
     }
 }
 

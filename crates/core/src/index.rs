@@ -1,0 +1,607 @@
+//! Memory-indexed candidate selection for decision-driven schedulers.
+//!
+//! The dynamic and corrected heuristics of the paper (Sections 4.2–4.3) make
+//! one decision per scheduled task: among the not-yet-scheduled tasks that
+//! fit in the free memory, keep those inducing minimum idle time on the
+//! processing unit, then break the tie with a criterion (largest/smallest
+//! communication time, maximum acceleration ratio). Evaluating that rule by
+//! scanning every remaining task makes each decision O(n) and the whole run
+//! O(n²).
+//!
+//! [`CandidateIndex`] answers the same selection queries in O(log n) /
+//! O(log² n) per decision. It keeps the tasks of an instance sorted by
+//! `(communication time, id)` and maintains two structures over that order:
+//!
+//! * a **min-memory segment tree**: each node stores the smallest memory
+//!   requirement among its still-present tasks, which lets directed descents
+//!   find the leftmost/rightmost fitting task of any communication-time
+//!   range in O(log n);
+//! * a **ratio range tree** (a merge-sort tree): each node additionally
+//!   stores its tasks sorted by memory requirement together with an inner
+//!   segment tree of acceleration ratios, which lets a prefix of the
+//!   communication order be searched for the best-ratio fitting task in
+//!   O(log² n).
+//!
+//! Three queries cover all of the paper's selection rules (see
+//! [`min_comm_candidate`](CandidateIndex::min_comm_candidate),
+//! [`max_comm_candidate_within`](CandidateIndex::max_comm_candidate_within)
+//! and
+//! [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within)):
+//! the key observation is that a task fits at a decision instant iff its
+//! memory requirement is at most the free memory, so "fits" is a pure
+//! threshold on the indexed quantity and never requires rescanning.
+//!
+//! ```
+//! use dts_core::index::CandidateIndex;
+//! use dts_core::instances::table4;
+//! use dts_core::{MemSize, TaskId, Time};
+//!
+//! let instance = table4(); // A..D with comm times 3, 1, 4, 5 and mem 3, 1, 4, 5
+//! let mut index = CandidateIndex::new(&instance);
+//! // Smallest communication time among tasks needing at most 4 bytes: B.
+//! assert_eq!(index.min_comm_candidate(MemSize::from_bytes(4)), Some(TaskId(1)));
+//! // Largest communication time <= 4 units among the same tasks: C.
+//! let bound = Time::units_int(4);
+//! assert_eq!(
+//!     index.max_comm_candidate_within(MemSize::from_bytes(4), bound),
+//!     Some(TaskId(2))
+//! );
+//! index.remove(TaskId(2));
+//! assert_eq!(
+//!     index.max_comm_candidate_within(MemSize::from_bytes(4), bound),
+//!     Some(TaskId(0))
+//! );
+//! ```
+
+use crate::instance::Instance;
+use crate::memory::MemSize;
+use crate::task::TaskId;
+use crate::time::Time;
+
+/// Aggregate of the ratio range tree: the best `(acceleration ratio, id)`
+/// pair of a set of tasks, where "best" is the largest ratio and ties prefer
+/// the smallest id — exactly the MAMR/OOMAMR choice rule.
+/// [`Time::ratio`] never produces NaN, so `f64` comparisons are total here.
+type RatioBest = (f64, u32);
+
+/// Neutral element of [`RatioBest`]: worse than every real task (real ratios
+/// are non-negative) and losing every id tie.
+const RATIO_NEUTRAL: RatioBest = (f64::NEG_INFINITY, u32::MAX);
+
+#[inline]
+fn ratio_combine(a: RatioBest, b: RatioBest) -> RatioBest {
+    if a.0 > b.0 {
+        a
+    } else if b.0 > a.0 {
+        b
+    } else if a.1 <= b.1 {
+        a
+    } else {
+        b
+    }
+}
+
+/// Sentinel stored in the min-memory tree for removed tasks and padding
+/// leaves. `u128` so that it compares above every real memory requirement,
+/// including a legitimate `u64::MAX`-byte task.
+const MEM_ABSENT: u128 = u128::MAX;
+
+/// One node of the ratio range tree: the tasks of the node's communication
+/// range sorted by `(memory, position)`, plus an iterative segment tree of
+/// [`RatioBest`] aggregates over that order (removed tasks are set to
+/// [`RATIO_NEUTRAL`], the sorted list itself is immutable).
+#[derive(Debug, Clone, Default)]
+struct RatioNode {
+    by_mem: Vec<(u64, u32)>,
+    inner: Vec<RatioBest>,
+}
+
+impl RatioNode {
+    fn build(by_mem: Vec<(u64, u32)>, key_of: impl Fn(u32) -> RatioBest) -> Self {
+        let len = by_mem.len();
+        let mut inner = vec![RATIO_NEUTRAL; 2 * len];
+        for (i, &(_, pos)) in by_mem.iter().enumerate() {
+            inner[len + i] = key_of(pos);
+        }
+        for i in (1..len).rev() {
+            inner[i] = ratio_combine(inner[2 * i], inner[2 * i + 1]);
+        }
+        RatioNode { by_mem, inner }
+    }
+
+    /// Best ratio among the first `k` tasks of the by-memory order.
+    fn prefix_best(&self, k: usize) -> RatioBest {
+        let len = self.by_mem.len();
+        let mut best = RATIO_NEUTRAL;
+        let (mut l, mut r) = (len, len + k);
+        while l < r {
+            if l & 1 == 1 {
+                best = ratio_combine(best, self.inner[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                best = ratio_combine(best, self.inner[r]);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        best
+    }
+
+    /// Neutralizes the task stored at `(mem, pos)`.
+    fn remove(&mut self, mem: u64, pos: u32) {
+        let idx = self
+            .by_mem
+            .binary_search(&(mem, pos))
+            .expect("task is present in every range-tree node covering it");
+        let len = self.by_mem.len();
+        let mut i = len + idx;
+        self.inner[i] = RATIO_NEUTRAL;
+        while i > 1 {
+            i >>= 1;
+            self.inner[i] = ratio_combine(self.inner[2 * i], self.inner[2 * i + 1]);
+        }
+    }
+}
+
+/// An index over the not-yet-scheduled tasks of an instance, ordered by
+/// `(communication time, id)` and searchable by memory threshold.
+///
+/// Construction is O(n log n); [`remove`](CandidateIndex::remove) is
+/// O(log² n); the candidate queries are O(log n) except the ratio query,
+/// which is O(log² n). See the [module documentation](self) for how the
+/// queries map onto the paper's selection rules.
+///
+/// The ratio range tree dominates the construction time and memory
+/// (O(n log n) entries, vs O(n) for everything else); selection rules that
+/// never ask ratio queries — the largest/smallest-communication criteria —
+/// should build the index with
+/// [`comm_only`](CandidateIndex::comm_only), which skips that tree and
+/// makes [`remove`](CandidateIndex::remove) O(log n).
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    /// Communication time at each position of the `(comm, id)` order
+    /// (non-decreasing; includes removed tasks — positions are static).
+    comm: Vec<Time>,
+    /// Task id at each position.
+    id_at: Vec<TaskId>,
+    /// Memory requirement at each position.
+    mem: Vec<u64>,
+    /// Position of each task id.
+    pos_of: Vec<u32>,
+    /// Which positions still hold a task.
+    present: Vec<bool>,
+    /// Number of tasks still present.
+    len: usize,
+    /// Leaf offset of the two trees (`next_power_of_two` of the task count).
+    base: usize,
+    /// Min-memory segment tree over positions (`2 * base` slots, node `i`
+    /// covers the same span in both trees).
+    min_mem: Vec<u128>,
+    /// Ratio range tree, indexed like `min_mem`; `None` for
+    /// [`comm_only`](CandidateIndex::comm_only) indexes.
+    ratio_tree: Option<Vec<RatioNode>>,
+}
+
+impl CandidateIndex {
+    /// Builds the full index over every task of `instance`, including the
+    /// ratio range tree behind
+    /// [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has more than `u32::MAX` tasks (positions and
+    /// ids are stored as `u32`; such an instance could not be scheduled in
+    /// memory anyway).
+    pub fn new(instance: &Instance) -> Self {
+        Self::build(instance, true)
+    }
+
+    /// Builds the index without the ratio range tree: half the memory and
+    /// build time, O(log n) removals — for selection rules that only need
+    /// the communication-time queries.
+    ///
+    /// # Panics
+    ///
+    /// Same construction limits as [`new`](CandidateIndex::new); in
+    /// addition, calling
+    /// [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within)
+    /// on the resulting index panics.
+    pub fn comm_only(instance: &Instance) -> Self {
+        Self::build(instance, false)
+    }
+
+    fn build(instance: &Instance, with_ratio_tree: bool) -> Self {
+        let n = instance.len();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "CandidateIndex supports at most u32::MAX tasks"
+        );
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (instance.task(TaskId(i as usize)).comm_time, i));
+
+        let mut comm = Vec::with_capacity(n);
+        let mut id_at = Vec::with_capacity(n);
+        let mut mem = Vec::with_capacity(n);
+        let mut pos_of = vec![0u32; n];
+        for (pos, &i) in order.iter().enumerate() {
+            let task = instance.task(TaskId(i as usize));
+            comm.push(task.comm_time);
+            id_at.push(TaskId(i as usize));
+            mem.push(task.mem.bytes());
+            pos_of[i as usize] = pos as u32;
+        }
+
+        let base = n.next_power_of_two().max(1);
+        let mut min_mem = vec![MEM_ABSENT; 2 * base];
+        for (pos, &m) in mem.iter().enumerate() {
+            min_mem[base + pos] = u128::from(m);
+        }
+        for i in (1..base).rev() {
+            min_mem[i] = min_mem[2 * i].min(min_mem[2 * i + 1]);
+        }
+
+        // Bottom-up merge of the by-memory lists (a merge sort over the
+        // leaves), building each node's inner ratio tree as it forms. Only
+        // this tree consumes the acceleration ratios, so they are computed
+        // here and not at all for `comm_only` indexes.
+        let ratio_tree = with_ratio_tree.then(|| {
+            let ratio: Vec<f64> = id_at
+                .iter()
+                .map(|&id| instance.task(id).acceleration_ratio())
+                .collect();
+            let mut tree = vec![RatioNode::default(); 2 * base];
+            let key_of = |pos: u32| -> RatioBest {
+                (ratio[pos as usize], id_at[pos as usize].index() as u32)
+            };
+            for (pos, &m) in mem.iter().enumerate() {
+                tree[base + pos] = RatioNode::build(vec![(m, pos as u32)], key_of);
+            }
+            for i in (1..base).rev() {
+                let merged = merge_by_mem(&tree[2 * i].by_mem, &tree[2 * i + 1].by_mem);
+                tree[i] = RatioNode::build(merged, key_of);
+            }
+            tree
+        });
+
+        CandidateIndex {
+            comm,
+            id_at,
+            mem,
+            pos_of,
+            present: vec![true; n],
+            len: n,
+            base,
+            min_mem,
+            ratio_tree,
+        }
+    }
+
+    /// Number of tasks still present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff every task has been removed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` iff `id` has not been removed yet.
+    #[inline]
+    pub fn contains(&self, id: TaskId) -> bool {
+        self.present[self.pos_of[id.index()] as usize]
+    }
+
+    /// Removes a task from the index (it has been scheduled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was already removed.
+    pub fn remove(&mut self, id: TaskId) {
+        let pos = self.pos_of[id.index()] as usize;
+        assert!(self.present[pos], "task {id} removed twice");
+        self.present[pos] = false;
+        self.len -= 1;
+
+        let mut i = self.base + pos;
+        self.min_mem[i] = MEM_ABSENT;
+        while i > 1 {
+            i >>= 1;
+            self.min_mem[i] = self.min_mem[2 * i].min(self.min_mem[2 * i + 1]);
+        }
+
+        if let Some(tree) = self.ratio_tree.as_mut() {
+            let (m, pos32) = (self.mem[pos], pos as u32);
+            let mut i = self.base + pos;
+            while i >= 1 {
+                tree[i].remove(m, pos32);
+                if i == 1 {
+                    break;
+                }
+                i >>= 1;
+            }
+        }
+    }
+
+    /// The present task with the smallest `(communication time, id)` among
+    /// those whose memory requirement is at most `free` — the SCMR choice,
+    /// and the probe every selection starts from (it determines whether any
+    /// task fits at all and what the minimum induced CPU idle time is).
+    pub fn min_comm_candidate(&self, free: MemSize) -> Option<TaskId> {
+        let limit = u128::from(free.bytes());
+        if self.min_mem[1] > limit {
+            return None;
+        }
+        let mut i = 1;
+        while i < self.base {
+            i = if self.min_mem[2 * i] <= limit {
+                2 * i
+            } else {
+                2 * i + 1
+            };
+        }
+        Some(self.id_at[i - self.base])
+    }
+
+    /// Among present tasks with memory requirement at most `free` and
+    /// communication time at most `comm_bound`, the one with the largest
+    /// communication time, ties broken by smallest id — the LCMR choice when
+    /// some fitting task induces no CPU idle time.
+    pub fn max_comm_candidate_within(&self, free: MemSize, comm_bound: Time) -> Option<TaskId> {
+        let limit = u128::from(free.bytes());
+        let hi = self.comm.partition_point(|&c| c <= comm_bound);
+        let pos = self.rightmost_fitting(hi, limit)?;
+        // `pos` has the maximum communication time, but among equal
+        // communication times the rightmost position is the largest id; the
+        // chosen task is the leftmost fitting one of the equal-comm block.
+        let c = self.comm[pos];
+        let lo_block = self.comm.partition_point(|&x| x < c);
+        let leftmost = self
+            .leftmost_fitting(lo_block, pos + 1, limit)
+            .expect("the block contains at least the task just found");
+        Some(self.id_at[leftmost])
+    }
+
+    /// Among present tasks with memory requirement at most `free` and
+    /// communication time at most `comm_bound`, the one with the largest
+    /// acceleration ratio, ties broken by smallest id — the MAMR choice.
+    /// When no fitting task avoids CPU idle time, calling this with
+    /// `comm_bound` equal to the minimum fitting communication time restricts
+    /// the query to exactly the minimum-idle candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built with
+    /// [`comm_only`](CandidateIndex::comm_only).
+    pub fn best_ratio_candidate_within(&self, free: MemSize, comm_bound: Time) -> Option<TaskId> {
+        let tree = self
+            .ratio_tree
+            .as_ref()
+            .expect("ratio query on an index built with CandidateIndex::comm_only");
+        let free = free.bytes();
+        let hi = self.comm.partition_point(|&c| c <= comm_bound);
+        let mut best = RATIO_NEUTRAL;
+        let (mut l, mut r) = (self.base, self.base + hi);
+        while l < r {
+            if l & 1 == 1 {
+                best = ratio_combine(best, node_prefix_best(&tree[l], free));
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                best = ratio_combine(best, node_prefix_best(&tree[r], free));
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        (best != RATIO_NEUTRAL).then_some(TaskId(best.1 as usize))
+    }
+
+    /// Leftmost position in `[lo, hi)` whose present task needs at most
+    /// `limit` bytes.
+    fn leftmost_fitting(&self, lo: usize, hi: usize, limit: u128) -> Option<usize> {
+        self.directed_search(lo, hi, limit, false)
+    }
+
+    /// Rightmost position in `[0, hi)` whose present task needs at most
+    /// `limit` bytes.
+    fn rightmost_fitting(&self, hi: usize, limit: u128) -> Option<usize> {
+        self.directed_search(0, hi, limit, true)
+    }
+
+    /// Finds the extremal fitting position of `[lo, hi)`: decomposes the
+    /// range into O(log n) tree nodes, takes the first (in the requested
+    /// direction) containing a fitting task, and descends into it. The
+    /// decomposition pushes at most one node per side per tree level, so
+    /// fixed 64-entry stacks hold it without touching the heap — this runs
+    /// up to twice per scheduling decision.
+    fn directed_search(&self, lo: usize, hi: usize, limit: u128, rightmost: bool) -> Option<usize> {
+        let mut left_nodes = [0usize; 64];
+        let mut n_left = 0;
+        let mut right_nodes = [0usize; 64];
+        let mut n_right = 0;
+        let (mut l, mut r) = (self.base + lo, self.base + hi);
+        while l < r {
+            if l & 1 == 1 {
+                left_nodes[n_left] = l;
+                n_left += 1;
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                right_nodes[n_right] = r;
+                n_right += 1;
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        // `left_nodes` followed by reversed `right_nodes` is the in-order
+        // decomposition; scan it from the requested end (`right_nodes` is
+        // pushed deepest-first, i.e. already rightmost-first).
+        let pick = if rightmost {
+            right_nodes[..n_right]
+                .iter()
+                .chain(left_nodes[..n_left].iter().rev())
+                .copied()
+                .find(|&i| self.min_mem[i] <= limit)
+        } else {
+            left_nodes[..n_left]
+                .iter()
+                .chain(right_nodes[..n_right].iter().rev())
+                .copied()
+                .find(|&i| self.min_mem[i] <= limit)
+        };
+        let mut i = pick?;
+        while i < self.base {
+            let (first, second) = if rightmost {
+                (2 * i + 1, 2 * i)
+            } else {
+                (2 * i, 2 * i + 1)
+            };
+            i = if self.min_mem[first] <= limit {
+                first
+            } else {
+                second
+            };
+        }
+        Some(i - self.base)
+    }
+}
+
+/// Best ratio among the tasks of `node` with memory at most `free`.
+fn node_prefix_best(node: &RatioNode, free: u64) -> RatioBest {
+    let k = node.by_mem.partition_point(|&(m, _)| m <= free);
+    node.prefix_best(k)
+}
+
+fn merge_by_mem(a: &[(u64, u32)], b: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::table4;
+
+    #[test]
+    fn queries_match_manual_expectations_on_table4() {
+        // Table 4: A (comm 3, mem 3), B (comm 1, mem 1), C (comm 4, mem 4),
+        // D (comm 5, mem 5); capacity 6.
+        let inst = table4();
+        let mut index = CandidateIndex::new(&inst);
+        assert_eq!(index.len(), 4);
+        assert!(!index.is_empty());
+
+        // Everything fits under 6 free bytes; B has the smallest comm.
+        let all = MemSize::from_bytes(6);
+        assert_eq!(index.min_comm_candidate(all), Some(TaskId(1)));
+        // Largest comm <= 4: C. Largest comm <= 10: D.
+        assert_eq!(
+            index.max_comm_candidate_within(all, Time::units_int(4)),
+            Some(TaskId(2))
+        );
+        assert_eq!(
+            index.max_comm_candidate_within(all, Time::units_int(10)),
+            Some(TaskId(3))
+        );
+        // Best ratio (comp/comm: A 2/3, B 6, C 3/2, D 1/5) under bound 5: B.
+        assert_eq!(
+            index.best_ratio_candidate_within(all, Time::units_int(5)),
+            Some(TaskId(1))
+        );
+
+        // With only one free byte, only B fits.
+        let one = MemSize::from_bytes(1);
+        assert_eq!(index.min_comm_candidate(one), Some(TaskId(1)));
+        assert_eq!(
+            index.max_comm_candidate_within(one, Time::units_int(10)),
+            Some(TaskId(1))
+        );
+        assert_eq!(index.min_comm_candidate(MemSize::ZERO), None);
+
+        // Removing B promotes A to the smallest-comm fitting task.
+        index.remove(TaskId(1));
+        assert!(!index.contains(TaskId(1)));
+        assert!(index.contains(TaskId(0)));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.min_comm_candidate(all), Some(TaskId(0)));
+        assert_eq!(
+            index.best_ratio_candidate_within(all, Time::units_int(5)),
+            Some(TaskId(2))
+        );
+        assert_eq!(index.min_comm_candidate(one), None);
+
+        for id in [TaskId(0), TaskId(2), TaskId(3)] {
+            index.remove(id);
+        }
+        assert!(index.is_empty());
+        assert_eq!(index.min_comm_candidate(all), None);
+        assert_eq!(
+            index.max_comm_candidate_within(all, Time::units_int(10)),
+            None
+        );
+        assert_eq!(
+            index.best_ratio_candidate_within(all, Time::units_int(10)),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "removed twice")]
+    fn double_removal_panics() {
+        let inst = table4();
+        let mut index = CandidateIndex::new(&inst);
+        index.remove(TaskId(2));
+        index.remove(TaskId(2));
+    }
+
+    #[test]
+    fn ties_prefer_the_smallest_id() {
+        // Three tasks with identical comm times and ratios: every query must
+        // resolve ties toward the smallest id among those that fit.
+        let inst = crate::instance::InstanceBuilder::new()
+            .capacity(MemSize::from_bytes(10))
+            .task_units("t0", 2.0, 4.0, 8)
+            .task_units("t1", 2.0, 4.0, 2)
+            .task_units("t2", 2.0, 4.0, 2)
+            .build()
+            .unwrap();
+        let index = CandidateIndex::new(&inst);
+        let bound = Time::units_int(2);
+        let all = MemSize::from_bytes(10);
+        assert_eq!(index.min_comm_candidate(all), Some(TaskId(0)));
+        assert_eq!(index.max_comm_candidate_within(all, bound), Some(TaskId(0)));
+        assert_eq!(
+            index.best_ratio_candidate_within(all, bound),
+            Some(TaskId(0))
+        );
+        // Exclude t0 by memory: the tie now resolves to t1.
+        let small = MemSize::from_bytes(2);
+        assert_eq!(index.min_comm_candidate(small), Some(TaskId(1)));
+        assert_eq!(
+            index.max_comm_candidate_within(small, bound),
+            Some(TaskId(1))
+        );
+        assert_eq!(
+            index.best_ratio_candidate_within(small, bound),
+            Some(TaskId(1))
+        );
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`Task`], [`Instance`] — the problem input,
 //! * [`Schedule`] — a complete solution (per-task communication and
 //!   computation start times),
+//! * [`index`] — the memory-indexed candidate structure used by the
+//!   decision-driven heuristics to select tasks in O(log n) per decision,
+//! * [`pool`] — the shared work-stealing pool behind the parallel solve
+//!   layers (suite sweeps, batched scheduling, `lp.k` sweeps),
 //! * [`feasibility`] — the feasibility checker for schedules (link and CPU
 //!   exclusivity, precedence, memory envelope),
 //! * [`memory`] — memory-occupation profiles,
@@ -35,16 +39,19 @@
 pub mod error;
 pub mod feasibility;
 pub mod gantt;
+pub mod index;
 pub mod instance;
 pub mod instances;
 pub mod memory;
 pub mod metrics;
+pub mod pool;
 pub mod schedule;
 pub mod simulate;
 pub mod task;
 pub mod time;
 
 pub use error::{CoreError, Result};
+pub use index::CandidateIndex;
 pub use instance::{Instance, InstanceBuilder, InstanceStats};
 pub use memory::MemSize;
 pub use schedule::{Schedule, ScheduleEntry};

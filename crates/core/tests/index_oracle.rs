@@ -1,0 +1,231 @@
+//! Oracle suite for [`CandidateIndex`]: every query must agree with a naive
+//! scan over the same task set, for arbitrary removal orders and arbitrary
+//! `(free memory, communication bound)` probes.
+//!
+//! The naive scans below restate the selection semantics of the paper's
+//! dynamic heuristics (largest/smallest communication time, maximum
+//! acceleration ratio — ties always to the smallest id), so this suite is
+//! what licenses the heuristics to trust the index instead of rescanning
+//! the remaining tasks on every decision.
+
+use dts_core::index::CandidateIndex;
+use dts_core::instances::{
+    random_instance, random_instance_decoupled_memory, RandomInstanceConfig,
+};
+use dts_core::{Instance, InstanceBuilder, MemSize, TaskId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Naive scan: smallest `(comm, id)` among alive tasks with `mem <= free`.
+fn naive_min_comm(instance: &Instance, alive: &[bool], free: MemSize) -> Option<TaskId> {
+    instance
+        .iter()
+        .filter(|(id, t)| alive[id.index()] && t.mem <= free)
+        .min_by_key(|(id, t)| (t.comm_time, id.index()))
+        .map(|(id, _)| id)
+}
+
+/// Naive scan: largest comm `<= bound`, ties to the smallest id.
+fn naive_max_comm(
+    instance: &Instance,
+    alive: &[bool],
+    free: MemSize,
+    bound: Time,
+) -> Option<TaskId> {
+    instance
+        .iter()
+        .filter(|(id, t)| alive[id.index()] && t.mem <= free && t.comm_time <= bound)
+        .max_by_key(|(id, t)| (t.comm_time, std::cmp::Reverse(id.index())))
+        .map(|(id, _)| id)
+}
+
+/// Naive scan: largest acceleration ratio among tasks with comm `<= bound`,
+/// ties to the smallest id. `Time::ratio` never yields NaN, so the `f64`
+/// comparison is total.
+fn naive_best_ratio(
+    instance: &Instance,
+    alive: &[bool],
+    free: MemSize,
+    bound: Time,
+) -> Option<TaskId> {
+    instance
+        .iter()
+        .filter(|(id, t)| alive[id.index()] && t.mem <= free && t.comm_time <= bound)
+        .min_by(|(a_id, a), (b_id, b)| {
+            b.acceleration_ratio()
+                .partial_cmp(&a.acceleration_ratio())
+                .expect("acceleration ratios are never NaN")
+                .then(a_id.index().cmp(&b_id.index()))
+        })
+        .map(|(id, _)| id)
+}
+
+/// Drives the index through a random removal order, probing all three
+/// queries with random thresholds between removals.
+fn check_against_oracle(instance: &Instance, rng: &mut StdRng, context: &str) {
+    let mut index = CandidateIndex::new(instance);
+    // The ratio-tree-less variant must answer the communication-time
+    // queries identically.
+    let mut comm_only = CandidateIndex::comm_only(instance);
+    let mut alive = vec![true; instance.len()];
+    let max_mem = instance
+        .tasks()
+        .iter()
+        .map(|t| t.mem.bytes())
+        .max()
+        .unwrap_or(0);
+    let max_comm = instance
+        .tasks()
+        .iter()
+        .map(|t| t.comm_time.ticks())
+        .max()
+        .unwrap_or(0);
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+
+    for &victim in order.iter() {
+        for _ in 0..4 {
+            // Thresholds straddle the task ranges so the probes hit empty,
+            // partial and full candidate sets.
+            let free = MemSize::from_bytes(rng.gen_range(0..=max_mem.saturating_add(1)));
+            let bound = Time::from_ticks(rng.gen_range(0..=max_comm.saturating_add(1)));
+            assert_eq!(
+                index.min_comm_candidate(free),
+                naive_min_comm(instance, &alive, free),
+                "{context}: min_comm free={free:?}"
+            );
+            assert_eq!(
+                index.max_comm_candidate_within(free, bound),
+                naive_max_comm(instance, &alive, free, bound),
+                "{context}: max_comm free={free:?} bound={bound:?}"
+            );
+            assert_eq!(
+                index.best_ratio_candidate_within(free, bound),
+                naive_best_ratio(instance, &alive, free, bound),
+                "{context}: best_ratio free={free:?} bound={bound:?}"
+            );
+            assert_eq!(
+                comm_only.min_comm_candidate(free),
+                index.min_comm_candidate(free),
+                "{context}: comm_only min_comm free={free:?}"
+            );
+            assert_eq!(
+                comm_only.max_comm_candidate_within(free, bound),
+                index.max_comm_candidate_within(free, bound),
+                "{context}: comm_only max_comm free={free:?} bound={bound:?}"
+            );
+        }
+        index.remove(TaskId(victim));
+        comm_only.remove(TaskId(victim));
+        alive[victim] = false;
+        assert_eq!(index.len(), alive.iter().filter(|a| **a).count());
+    }
+    assert!(index.is_empty());
+    assert!(comm_only.is_empty());
+}
+
+#[test]
+fn index_agrees_with_naive_scans_on_random_instances() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for n_tasks in [1usize, 2, 7, 25, 60] {
+            for factor in [1.0, 1.3] {
+                let coupled = random_instance(
+                    &mut rng,
+                    RandomInstanceConfig {
+                        n_tasks,
+                        capacity_factor: factor,
+                        ..Default::default()
+                    },
+                );
+                check_against_oracle(&coupled, &mut rng, &format!("coupled {seed}/{n_tasks}"));
+                let decoupled = random_instance_decoupled_memory(&mut rng, n_tasks, factor);
+                check_against_oracle(&decoupled, &mut rng, &format!("decoupled {seed}/{n_tasks}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn index_agrees_with_naive_scans_under_heavy_ties() {
+    // Tiny value domains force many equal communication times, equal
+    // ratios, and equal memory footprints — the cases where tie-breaking by
+    // id is the only thing separating candidates. Includes zero-comm tasks
+    // (infinite ratio) and zero-comm/zero-comp tasks (ratio 1 by the
+    // `Time::ratio` convention).
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 0..30 {
+        let n = rng.gen_range(1..=18);
+        let mut builder = InstanceBuilder::new().capacity(MemSize::from_bytes(6));
+        for i in 0..n {
+            let comm = rng.gen_range(0..=2u64);
+            let comp = rng.gen_range(0..=2u64);
+            let mem = rng.gen_range(0..=4u64);
+            builder = builder.task(dts_core::Task::new(
+                format!("t{i}"),
+                Time::units_int(comm),
+                Time::units_int(comp),
+                MemSize::from_bytes(mem),
+            ));
+        }
+        let instance = builder.build().expect("mem <= 4 fits capacity 6");
+        check_against_oracle(&instance, &mut rng, &format!("ties round {round}"));
+    }
+}
+
+#[test]
+#[should_panic(expected = "comm_only")]
+fn ratio_query_on_comm_only_index_panics() {
+    let instance = InstanceBuilder::new()
+        .capacity(MemSize::from_bytes(6))
+        .task(dts_core::Task::new(
+            "a",
+            Time::units_int(1),
+            Time::units_int(1),
+            MemSize::from_bytes(1),
+        ))
+        .build()
+        .unwrap();
+    let index = CandidateIndex::comm_only(&instance);
+    let _ = index.best_ratio_candidate_within(MemSize::from_bytes(6), Time::units_int(1));
+}
+
+#[test]
+fn index_handles_u64_scale_memory() {
+    // A u64::MAX-byte task must stay distinguishable from a removed slot
+    // (the index stores absence as u128::MAX, above any real size).
+    let instance = InstanceBuilder::new()
+        .capacity(MemSize::UNBOUNDED)
+        .task(dts_core::Task::new(
+            "a",
+            Time::units_int(1),
+            Time::units_int(1),
+            MemSize::UNBOUNDED,
+        ))
+        .task(dts_core::Task::new(
+            "b",
+            Time::units_int(2),
+            Time::units_int(1),
+            MemSize::from_bytes(2),
+        ))
+        .build()
+        .unwrap();
+    let mut index = CandidateIndex::new(&instance);
+    assert_eq!(
+        index.min_comm_candidate(MemSize::UNBOUNDED),
+        Some(TaskId(0))
+    );
+    assert_eq!(
+        index.min_comm_candidate(MemSize::from_bytes(u64::MAX - 1)),
+        Some(TaskId(1))
+    );
+    index.remove(TaskId(0));
+    assert_eq!(
+        index.min_comm_candidate(MemSize::UNBOUNDED),
+        Some(TaskId(1))
+    );
+    index.remove(TaskId(1));
+    assert_eq!(index.min_comm_candidate(MemSize::UNBOUNDED), None);
+}

@@ -12,7 +12,7 @@
 //!
 //! * [`topology`] — nodes, cores per process, process-to-node placement
 //!   (10 nodes × 15 worker cores in the paper's setup);
-//! * [`array`] — tiled global arrays with a deterministic owner map;
+//! * [`mod@array`] — tiled global arrays with a deterministic owner map;
 //! * [`transfer`] — the single-route transfer-cost model of Section 5
 //!   (every transfer between a process and the GA memory takes the same
 //!   route, so cost = latency + bytes/bandwidth);

@@ -5,8 +5,17 @@
 //! tasks and applying each heuristic to the batches in succession; the
 //! makespan is the completion time of the last batch, with batches executed
 //! back to back.
+//!
+//! Because every batch starts from an empty memory and idle resources, the
+//! per-batch schedules do not depend on each other — only their *placement
+//! on the time axis* does. [`run_heuristic_batched`] exploits this: it
+//! solves all batches speculatively in parallel, then stitches the
+//! sub-schedules together sequentially by accumulating each batch's
+//! makespan as the offset of the next, producing the exact schedule a
+//! sequential run builds.
 
 use crate::{run_heuristic, Heuristic};
+use dts_core::pool::run_indexed_pool;
 use dts_core::prelude::*;
 
 /// Configuration of batched execution.
@@ -28,21 +37,76 @@ impl Default for BatchConfig {
 /// communications and computations of batch `k + 1` start no earlier than
 /// the completion of batch `k` (the runtime only discovers the next batch
 /// once the current one is done).
+///
+/// The per-batch solves are independent of runtime state, so they run in
+/// parallel (up to the machine's available parallelism) and are stitched
+/// together in batch order afterwards; the schedule is identical to a
+/// sequential run's. Use [`run_heuristic_batched_pooled`] to control the
+/// worker count explicitly.
+///
+/// ```
+/// use dts_core::instances::table5;
+/// use dts_heuristics::{run_heuristic, run_heuristic_batched, BatchConfig, Heuristic};
+///
+/// let instance = table5();
+/// let batched = run_heuristic_batched(
+///     &instance,
+///     Heuristic::OOLCMR,
+///     BatchConfig { batch_size: 2 },
+/// )
+/// .unwrap();
+/// // Splitting 5 tasks into batches of 2 limits the scheduler's look-ahead;
+/// // on this fixture (the heuristics are greedy, so this is not a law) the
+/// // batched makespan does not beat the whole-instance run.
+/// let whole = run_heuristic(&instance, Heuristic::OOLCMR).unwrap();
+/// assert!(batched.makespan(&instance) >= whole.makespan(&instance));
+/// ```
 pub fn run_heuristic_batched(
     instance: &Instance,
     heuristic: Heuristic,
     config: BatchConfig,
 ) -> Result<Schedule> {
+    let threads = if instance.len() < PARALLEL_BATCH_MIN_TASKS {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    run_heuristic_batched_pooled(instance, heuristic, config, threads)
+}
+
+/// Instance size at or above which [`run_heuristic_batched`] fans its
+/// batches out across workers; below it a whole batched run costs less
+/// than spawning the pool. [`run_heuristic_batched_pooled`] ignores this
+/// threshold and honors its explicit worker count.
+pub const PARALLEL_BATCH_MIN_TASKS: usize = 256;
+
+/// [`run_heuristic_batched`] with an explicit worker-thread count
+/// (`threads <= 1` solves the batches sequentially). Workers claim batches
+/// one at a time from a shared index, so heterogeneous batch costs do not
+/// stall the pool; the stitching pass is always sequential and deterministic.
+///
+/// # Errors
+///
+/// A failing batch stops the pool; among the failures observed, the one of
+/// the lowest batch index is returned — the same error a sequential run
+/// reports, since that run would fail at the first bad batch. A panic inside
+/// a batch surfaces as [`CoreError::Internal`].
+pub fn run_heuristic_batched_pooled(
+    instance: &Instance,
+    heuristic: Heuristic,
+    config: BatchConfig,
+    threads: usize,
+) -> Result<Schedule> {
     if config.batch_size == 0 {
         return Err(CoreError::Infeasible("batch size must be positive".into()));
     }
     let ids = instance.task_ids();
+    let batches: Vec<&[TaskId]> = ids.chunks(config.batch_size).collect();
+    let solved = solve_batches(instance, heuristic, &batches, threads)?;
+
     let mut global = Schedule::with_capacity(instance.len());
     let mut offset = Time::ZERO;
-
-    for batch in ids.chunks(config.batch_size) {
-        let sub = instance.sub_instance(batch)?;
-        let sub_schedule = run_heuristic(&sub, heuristic)?;
+    for (batch, (sub_schedule, makespan)) in batches.iter().zip(solved) {
         // Translate the sub-schedule back to global task ids and shift it by
         // the completion time of the previous batches.
         for entry in sub_schedule.entries() {
@@ -52,9 +116,27 @@ pub fn run_heuristic_batched(
                 comp_start: entry.comp_start + offset,
             });
         }
-        offset += sub_schedule.makespan(&sub);
+        offset += makespan;
     }
     Ok(global)
+}
+
+/// Solves every batch independently (each from an empty runtime state) and
+/// returns, in batch order, each sub-schedule with its makespan. The
+/// work-stealing, abort-on-error and lowest-index-error semantics come
+/// from [`run_indexed_pool`].
+fn solve_batches(
+    instance: &Instance,
+    heuristic: Heuristic,
+    batches: &[&[TaskId]],
+    threads: usize,
+) -> Result<Vec<(Schedule, Time)>> {
+    run_indexed_pool(batches.len(), threads, |index| {
+        let sub = instance.sub_instance(batches[index])?;
+        let sub_schedule = run_heuristic(&sub, heuristic)?;
+        let makespan = sub_schedule.makespan(&sub);
+        Ok((sub_schedule, makespan))
+    })
 }
 
 /// Sum over batches of the OMIM lower bound: the reference value the paper
@@ -136,6 +218,65 @@ mod tests {
         // Batch size 1 is exactly the sequential sum of all task times.
         let stats = inst.stats();
         assert_eq!(tiny, stats.sequential_upper_bound());
+    }
+
+    #[test]
+    fn pooled_batches_match_sequential_exactly() {
+        // The parallel path must reproduce the sequential schedule entry for
+        // entry (same tasks, same instants), whatever the worker count.
+        let mut rng = StdRng::seed_from_u64(12);
+        for n_tasks in [1usize, 9, 33, 70] {
+            let inst = random_instance_decoupled_memory(&mut rng, n_tasks, 1.3);
+            for h in [Heuristic::OS, Heuristic::MAMR, Heuristic::OOLCMR] {
+                for batch_size in [1usize, 7, 100] {
+                    let config = BatchConfig { batch_size };
+                    let sequential = run_heuristic_batched_pooled(&inst, h, config, 1).unwrap();
+                    for threads in [2usize, 5, 64] {
+                        let pooled =
+                            run_heuristic_batched_pooled(&inst, h, config, threads).unwrap();
+                        assert_eq!(
+                            sequential, pooled,
+                            "{h} diverged: n={n_tasks} batch={batch_size} threads={threads}"
+                        );
+                    }
+                    let auto = run_heuristic_batched(&inst, h, config).unwrap();
+                    assert_eq!(sequential, auto, "{h} auto-threaded run diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_batches_report_the_earliest_failing_batch() {
+        // Task 5 (batch #1 of size-4 batches) exceeds the capacity; both the
+        // sequential and the pooled run must surface that batch's error.
+        let json = format!(
+            r#"{{
+                "tasks": [{}],
+                "capacity": 4,
+                "label": "malformed"
+            }}"#,
+            (0..12)
+                .map(|i| format!(
+                    r#"{{"name": "t{i}", "comm_time": 1000, "comp_time": 1000, "mem": {}}}"#,
+                    if i == 5 { 9 } else { 2 }
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let inst: Instance = serde_json::from_str(&json).unwrap();
+        let config = BatchConfig { batch_size: 4 };
+        let sequential =
+            run_heuristic_batched_pooled(&inst, Heuristic::LCMR, config, 1).unwrap_err();
+        let pooled = run_heuristic_batched_pooled(&inst, Heuristic::LCMR, config, 4).unwrap_err();
+        assert_eq!(sequential, pooled);
+        assert!(matches!(
+            pooled,
+            CoreError::TaskExceedsCapacity {
+                task: TaskId(1),
+                ..
+            }
+        ));
     }
 
     #[test]

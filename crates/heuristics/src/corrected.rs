@@ -7,14 +7,15 @@
 //! order. If nothing fits, the link stays idle until the next memory
 //! release.
 
-use crate::engine::{filter_minimum_cpu_idle, EngineState};
+use crate::engine::{select_candidate, EngineState};
 use crate::SelectionCriterion;
+use dts_core::index::CandidateIndex;
 use dts_core::prelude::*;
 use dts_flowshop::johnson::johnson_order;
 use serde::{Deserialize, Serialize};
 
 /// Criterion used when a dynamic correction is needed. The options mirror
-/// [`SelectionCriterion`](crate::SelectionCriterion); a separate type keeps
+/// [`SelectionCriterion`]; a separate type keeps
 /// the heuristic names (`OOLCMR`/`OOSCMR`/`OOMAMR`) self-documenting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CorrectionCriterion {
@@ -55,20 +56,23 @@ pub fn run_corrected_with_order(
     let selection: SelectionCriterion = criterion.into();
     let mut state = EngineState::new(instance);
     // The pending set is the suffix of `order` starting at `cursor`, minus
-    // the positions already scheduled by a dynamic correction. This keeps
-    // every removal O(1) where a `Vec::remove(0)`/`retain` pending list
-    // shifted O(n) elements per decision.
+    // the positions already scheduled by a dynamic correction; `index`
+    // mirrors it as a memory-indexed structure so a correction is resolved
+    // with O(log n) threshold queries (see `select_candidate`) instead of
+    // scanning the whole suffix.
     let mut scheduled = vec![false; order.len()];
     let mut position_of = vec![0usize; order.len()];
     for (pos, id) in order.iter().enumerate() {
         position_of[id.index()] = pos;
     }
+    let mut index = match selection {
+        SelectionCriterion::MaximumAcceleration => CandidateIndex::new(instance),
+        _ => CandidateIndex::comm_only(instance),
+    };
     let mut cursor = 0usize;
-    let mut left = order.len();
-    let mut fitting: Vec<TaskId> = Vec::with_capacity(order.len());
     let mut now = Time::ZERO;
 
-    while left > 0 {
+    while !index.is_empty() {
         now = now.max(state.link_free);
         state.release_up_to(now);
         while cursor < order.len() && scheduled[cursor] {
@@ -79,31 +83,25 @@ pub fn run_corrected_with_order(
             // Follow the precomputed order.
             state.commit(instance, next, now);
             scheduled[cursor] = true;
+            index.remove(next);
             cursor += 1;
-            left -= 1;
             continue;
         }
-        // The next task of the order does not fit: correct dynamically.
-        fitting.clear();
-        for pos in cursor..order.len() {
-            if !scheduled[pos] && state.fits_at(instance.task(order[pos]), now) {
-                fitting.push(order[pos]);
+        // The next task of the order does not fit: correct dynamically. The
+        // index still contains `next`, but it is never returned here since
+        // the queries only consider tasks that fit.
+        match select_candidate(instance, &state, &index, now, selection) {
+            Some(chosen) => {
+                state.commit(instance, chosen, now);
+                scheduled[position_of[chosen.index()]] = true;
+                index.remove(chosen);
+            }
+            None => {
+                now = state.next_release_after(now).ok_or_else(|| {
+                    CoreError::Internal("no task fits yet no memory is held".into())
+                })?;
             }
         }
-        if fitting.is_empty() {
-            let next_release = state
-                .next_release_after(now)
-                .ok_or_else(|| CoreError::Internal("no task fits yet no memory is held".into()))?;
-            now = next_release;
-            continue;
-        }
-        let best_idle = filter_minimum_cpu_idle(instance, &state, &fitting, now);
-        let chosen = selection
-            .choose(instance, &best_idle)
-            .ok_or_else(|| CoreError::Internal("min-idle filter emptied the candidates".into()))?;
-        state.commit(instance, chosen, now);
-        scheduled[position_of[chosen.index()]] = true;
-        left -= 1;
     }
     Ok(state.schedule)
 }

@@ -7,7 +7,8 @@
 //! left idle until the next memory release. Communications and computations
 //! happen in the same order.
 
-use crate::engine::{filter_minimum_cpu_idle, EngineState};
+use crate::engine::{select_candidate, EngineState};
+use dts_core::index::CandidateIndex;
 use dts_core::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -58,44 +59,33 @@ impl SelectionCriterion {
 pub fn run_dynamic(instance: &Instance, criterion: SelectionCriterion) -> Result<Schedule> {
     instance.check_tasks_fit()?;
     let mut state = EngineState::new(instance);
-    let mut remaining: Vec<TaskId> = instance.task_ids();
-    // Position of each task inside `remaining`, for O(1) swap-removal.
-    let mut slot: Vec<usize> = (0..remaining.len()).collect();
-    let mut fitting: Vec<TaskId> = Vec::with_capacity(remaining.len());
+    // Remaining tasks, indexed by memory footprint: each decision is
+    // resolved with O(log n) threshold queries instead of scanning every
+    // remaining task (see `select_candidate`). Only MAMR asks ratio
+    // queries, so the other criteria skip the ratio range tree.
+    let mut index = match criterion {
+        SelectionCriterion::MaximumAcceleration => CandidateIndex::new(instance),
+        _ => CandidateIndex::comm_only(instance),
+    };
     let mut now = Time::ZERO;
 
-    while !remaining.is_empty() {
+    while !index.is_empty() {
         now = now.max(state.link_free);
         state.release_up_to(now);
-        // Candidates: remaining tasks that fit in memory at `now`. The
-        // selection criteria break ties by task id, so the iteration order
-        // of `remaining` (scrambled by swap-removal) does not matter.
-        fitting.clear();
-        fitting.extend(
-            remaining
-                .iter()
-                .copied()
-                .filter(|id| state.fits_at(instance.task(*id), now)),
-        );
-        if fitting.is_empty() {
-            // Leave the link idle until the next memory release. A release
-            // always exists here: otherwise the memory would be empty and
-            // every task would fit (oversized tasks were rejected above).
-            let next = state
-                .next_release_after(now)
-                .ok_or_else(|| CoreError::Internal("no task fits yet no memory is held".into()))?;
-            now = next;
-            continue;
-        }
-        let best_idle = filter_minimum_cpu_idle(instance, &state, &fitting, now);
-        let chosen = criterion
-            .choose(instance, &best_idle)
-            .ok_or_else(|| CoreError::Internal("min-idle filter emptied the candidates".into()))?;
-        state.commit(instance, chosen, now);
-        let at = slot[chosen.index()];
-        remaining.swap_remove(at);
-        if let Some(&moved) = remaining.get(at) {
-            slot[moved.index()] = at;
+        match select_candidate(instance, &state, &index, now, criterion) {
+            Some(chosen) => {
+                state.commit(instance, chosen, now);
+                index.remove(chosen);
+            }
+            None => {
+                // No remaining task fits: leave the link idle until the next
+                // memory release. A release always exists here, otherwise
+                // the memory would be empty and every task would fit
+                // (oversized tasks were rejected above).
+                now = state.next_release_after(now).ok_or_else(|| {
+                    CoreError::Internal("no task fits yet no memory is held".into())
+                })?;
+            }
         }
     }
     Ok(state.schedule)

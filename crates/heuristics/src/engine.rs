@@ -7,17 +7,29 @@
 //!
 //! # Complexity
 //!
-//! The decision loops of [`run_dynamic`](crate::dynamic::run_dynamic) and
-//! [`run_corrected_with_order`](crate::corrected::run_corrected_with_order)
-//! probe the memory state once per candidate per decision. To keep those
-//! probes cheap the engine maintains a running total of the memory held
-//! ([`EngineState::held`]) next to a queue of pending releases ordered by
+//! The engine maintains a running total of the memory held
+//! (`EngineState::held`) next to a queue of pending releases ordered by
 //! computation end. Callers advance the engine with
 //! [`EngineState::release_up_to`] as their clock moves forward; after that,
-//! [`EngineState::held_at`] at the current instant is O(1) and
-//! [`EngineState::next_release_after`] is O(log n), instead of the full
-//! rescan of every ever-committed task the previous implementation did.
+//! [`EngineState::held_at`] at the current instant is O(1),
+//! [`EngineState::available`] is O(1) and
+//! [`EngineState::next_release_after`] is O(log n).
+//!
+//! The decision loops of [`run_dynamic`](crate::dynamic::run_dynamic) and
+//! [`run_corrected_with_order`](crate::corrected::run_corrected_with_order)
+//! do not probe candidates one by one: [`select_candidate`] resolves each
+//! decision with O(log n) / O(log² n) queries against a
+//! [`CandidateIndex`] of the remaining
+//! tasks, so a whole run costs O(n log² n) instead of the O(n²) of scanning
+//! every remaining task per decision. [`filter_minimum_cpu_idle`] remains
+//! the executable specification of the selection rule: the
+//! `select_candidate_matches_the_specification_filter` test below replays
+//! whole runs comparing the two decision for decision, and the
+//! `engine_equivalence` integration suite pins the resulting schedules
+//! byte-identical to the seed engine.
 
+use crate::SelectionCriterion;
+use dts_core::index::CandidateIndex;
 use dts_core::prelude::*;
 use std::collections::VecDeque;
 
@@ -104,10 +116,20 @@ impl EngineState {
         self.held.saturating_sub(released)
     }
 
+    /// Memory still free at the pruning instant (the last instant passed to
+    /// [`release_up_to`](EngineState::release_up_to)): the capacity minus
+    /// the running held-memory total, in O(1). A task fits at that instant
+    /// iff its requirement is at most this value, which is what lets the
+    /// selection work as threshold queries on a [`CandidateIndex`].
+    #[inline]
+    pub fn available(&self) -> MemSize {
+        MemSize::from_bytes(self.capacity.bytes().saturating_sub(self.held.bytes()))
+    }
+
     /// `true` iff `task` fits in the memory remaining at instant `t`. An
     /// exact sum that overflows `u64` cannot fit under any capacity, so it
     /// counts as not fitting — the same convention as
-    /// [`simulate_sequence`](dts_core::simulate::simulate_sequence), which
+    /// [`simulate_sequence`], which
     /// also keeps the engine's held-memory counter an exact sum.
     pub fn fits_at(&self, task: &Task, t: Time) -> bool {
         self.held_at(t)
@@ -196,10 +218,123 @@ pub fn filter_minimum_cpu_idle(
     }
 }
 
+/// Resolves one dynamic selection decision against a [`CandidateIndex`]:
+/// among the remaining tasks that fit in the free memory at instant `now`,
+/// keep those inducing the minimum idle time on the processing unit, then
+/// apply `criterion` — the exact rule of
+/// `criterion.choose(filter_minimum_cpu_idle(fitting))`, without
+/// materializing either set.
+///
+/// Returns `None` iff no remaining task fits, in which case callers wait
+/// for the next memory release. The caller must have called
+/// [`EngineState::release_up_to`]`(now)` beforehand so that
+/// [`EngineState::available`] reflects the decision instant.
+///
+/// # How the index queries map onto the paper's rule
+///
+/// A fitting task induces zero CPU idle time iff its communication time is
+/// at most `slack = cpu_free − now`; otherwise the induced idle time grows
+/// strictly with the communication time. Hence, with `cmin` the smallest
+/// communication time among fitting tasks:
+///
+/// * if `cmin <= slack`, the minimum-idle candidates are the fitting tasks
+///   with communication time at most `slack`;
+/// * otherwise they are the fitting tasks with communication time exactly
+///   `cmin`, and restricting a `<= cmin` query to fitting tasks yields the
+///   same set (no fitting task has a smaller communication time).
+///
+/// Each criterion then reduces to one ordered query on that set, with ties
+/// broken by smallest id exactly as [`SelectionCriterion::choose`] does.
+pub fn select_candidate(
+    instance: &Instance,
+    state: &EngineState,
+    index: &CandidateIndex,
+    now: Time,
+    criterion: SelectionCriterion,
+) -> Option<TaskId> {
+    let free = state.available();
+    let cheapest = index.min_comm_candidate(free)?;
+    let cmin = instance.task(cheapest).comm_time;
+    let slack = state.cpu_free.saturating_sub(now);
+    if cmin > slack {
+        // Every fitting task induces CPU idle time; the candidates are the
+        // fitting tasks with the smallest communication time `cmin`.
+        return match criterion {
+            // All candidates share the same communication time, so both
+            // communication criteria pick the smallest id among them —
+            // which is `cheapest` by the `(comm, id)` index order.
+            SelectionCriterion::LargestCommunication
+            | SelectionCriterion::SmallestCommunication => Some(cheapest),
+            SelectionCriterion::MaximumAcceleration => {
+                index.best_ratio_candidate_within(free, cmin)
+            }
+        };
+    }
+    // Some fitting task induces no idle time: the candidates are the fitting
+    // tasks with communication time at most `slack`.
+    match criterion {
+        SelectionCriterion::LargestCommunication => index.max_comm_candidate_within(free, slack),
+        SelectionCriterion::SmallestCommunication => Some(cheapest),
+        SelectionCriterion::MaximumAcceleration => index.best_ratio_candidate_within(free, slack),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dts_core::instances::table4;
+    use dts_core::instances::{random_instance_decoupled_memory, table4};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Replays whole scheduling runs, comparing `select_candidate` against
+    /// the executable specification it replaces — `criterion.choose` over
+    /// `filter_minimum_cpu_idle` over the fitting remaining tasks — at
+    /// every single decision instant.
+    #[test]
+    fn select_candidate_matches_the_specification_filter() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let criteria = [
+            SelectionCriterion::LargestCommunication,
+            SelectionCriterion::SmallestCommunication,
+            SelectionCriterion::MaximumAcceleration,
+        ];
+        for round in 0..15 {
+            let inst = random_instance_decoupled_memory(&mut rng, 14, 1.2);
+            for criterion in criteria {
+                let mut state = EngineState::new(&inst);
+                let mut index = CandidateIndex::new(&inst);
+                let mut remaining: Vec<TaskId> = inst.task_ids();
+                let mut now = Time::ZERO;
+                while !remaining.is_empty() {
+                    now = now.max(state.link_free);
+                    state.release_up_to(now);
+                    let fitting: Vec<TaskId> = remaining
+                        .iter()
+                        .copied()
+                        .filter(|id| state.fits_at(inst.task(*id), now))
+                        .collect();
+                    let spec = criterion.choose(
+                        &inst,
+                        &filter_minimum_cpu_idle(&inst, &state, &fitting, now),
+                    );
+                    let fast = select_candidate(&inst, &state, &index, now, criterion);
+                    assert_eq!(fast, spec, "round {round}, {criterion:?}, t = {now}");
+                    match fast {
+                        Some(chosen) => {
+                            state.commit(&inst, chosen, now);
+                            index.remove(chosen);
+                            remaining.retain(|id| *id != chosen);
+                        }
+                        None => {
+                            now = state
+                                .next_release_after(now)
+                                .expect("some task holds memory");
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn held_memory_tracks_commits_and_releases() {

@@ -19,7 +19,7 @@
 //!   `OOSCMR`, `OOMAMR`.
 //!
 //! [`Heuristic`] enumerates all of them, [`run_heuristic`] executes any of
-//! them on an [`Instance`](dts_core::Instance), and [`batch`] applies a
+//! them on an [`Instance`], and [`batch`] applies a
 //! heuristic to successive batches of tasks (Section 6.3).
 
 #![warn(missing_docs)]
@@ -34,7 +34,7 @@ use dts_core::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-pub use batch::{run_heuristic_batched, BatchConfig};
+pub use batch::{run_heuristic_batched, run_heuristic_batched_pooled, BatchConfig};
 pub use corrected::CorrectionCriterion;
 pub use dynamic::SelectionCriterion;
 
@@ -230,6 +230,17 @@ pub fn run_heuristic(instance: &Instance, heuristic: Heuristic) -> Result<Schedu
 /// Runs every heuristic and returns the one with the smallest makespan,
 /// together with its schedule. Ties are broken by the order of
 /// [`Heuristic::ALL`].
+///
+/// ```
+/// use dts_core::instances::table5;
+/// use dts_flowshop::johnson::johnson_makespan;
+///
+/// let instance = table5();
+/// let (winner, schedule) = dts_heuristics::best_heuristic(&instance).unwrap();
+/// // No heuristic can beat the infinite-memory (OMIM) lower bound.
+/// assert!(schedule.makespan(&instance) >= johnson_makespan(&instance));
+/// println!("best heuristic on Table 5: {winner}");
+/// ```
 pub fn best_heuristic(instance: &Instance) -> Result<(Heuristic, Schedule)> {
     let mut best: Option<(Heuristic, Schedule, Time)> = None;
     for &h in &Heuristic::ALL {

@@ -3,7 +3,7 @@
 //! A static heuristic computes the full processing order in advance from the
 //! task characteristics; the order is then executed on both resources by the
 //! memory-constrained executor
-//! ([`simulate_sequence`](dts_core::simulate::simulate_sequence)).
+//! ([`simulate_sequence`]).
 
 use crate::Heuristic;
 use dts_core::prelude::*;

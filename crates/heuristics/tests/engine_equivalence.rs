@@ -18,7 +18,7 @@ use dts_heuristics::corrected::{run_corrected, run_corrected_with_order};
 use dts_heuristics::dynamic::run_dynamic;
 use dts_heuristics::{CorrectionCriterion, SelectionCriterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// The seed implementation of `EngineState`, kept verbatim as the oracle.
 mod reference {
@@ -243,6 +243,33 @@ fn engines_agree_on_seeded_random_instances() {
         }
     }
     assert!(count >= 50, "the suite must cover at least 50 instances");
+}
+
+#[test]
+fn engines_agree_on_tie_heavy_instances() {
+    // Tiny value domains force many tasks to share communication times,
+    // acceleration ratios and memory footprints, so the id tie-breaking of
+    // the memory-indexed candidate selection is the only thing separating
+    // candidates. Zero-communication tasks (infinite ratio, and ratio 1 for
+    // zero-comm/zero-comp tasks) are included on purpose.
+    let mut rng = StdRng::seed_from_u64(7777);
+    for round in 0..40 {
+        let n = rng.gen_range(1usize..=16);
+        let capacity = rng.gen_range(4u64..=8);
+        let mut builder = dts_core::InstanceBuilder::new()
+            .capacity(MemSize::from_bytes(capacity))
+            .label(format!("tie-heavy-{round}"));
+        for i in 0..n {
+            builder = builder.task(Task::new(
+                format!("t{i}"),
+                Time::units_int(rng.gen_range(0..=2u64)),
+                Time::units_int(rng.gen_range(0..=2u64)),
+                MemSize::from_bytes(rng.gen_range(0..=4u64)),
+            ));
+        }
+        let instance = builder.build().expect("mem <= 4 fits capacity >= 4");
+        assert_engines_agree(&instance, &format!("tie-heavy round {round}"));
+    }
 }
 
 #[test]

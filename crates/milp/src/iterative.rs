@@ -7,6 +7,7 @@
 //! fixing the events of tasks that started before the window boundary).
 
 use crate::window::{solve_window, WindowState};
+use dts_core::pool::run_indexed_pool;
 use dts_core::prelude::*;
 
 /// Configuration of the `lp.k` heuristic.
@@ -29,6 +30,16 @@ impl Default for LpKConfig {
 
 /// Runs `lp.k`: windows of `config.window` tasks in submission order, each
 /// solved exactly and concatenated.
+///
+/// ```
+/// use dts_core::instances::table3;
+/// use dts_milp::{lp_k, LpKConfig};
+///
+/// let instance = table3();
+/// let schedule = lp_k(&instance, LpKConfig { window: 4 }).unwrap();
+/// assert_eq!(schedule.len(), instance.len());
+/// assert!(dts_core::feasibility::is_feasible(&instance, &schedule));
+/// ```
 pub fn lp_k(instance: &Instance, config: LpKConfig) -> Result<Schedule> {
     if config.window == 0 {
         return Err(CoreError::Infeasible("lp.k window must be positive".into()));
@@ -55,16 +66,46 @@ pub fn lp_k(instance: &Instance, config: LpKConfig) -> Result<Schedule> {
     Ok(schedule)
 }
 
+/// Instance size at or above which [`lp_k_sweep`] solves its window sizes on
+/// separate threads. The window sizes are independent solves over the same
+/// instance, so they parallelize perfectly; below this many tasks a whole
+/// sweep takes well under the cost of spawning threads.
+pub const PARALLEL_SWEEP_MIN_TASKS: usize = 16;
+
 /// Convenience: runs `lp.k` for every window size of Fig. 7 and returns the
-/// `(k, makespan)` pairs.
+/// `(k, makespan)` pairs, in the order of
+/// [`LpKConfig::PAPER_WINDOW_SIZES`].
+///
+/// ```
+/// use dts_core::instances::table3;
+/// let sweep = dts_milp::lp_k_sweep(&table3()).unwrap();
+/// assert_eq!(sweep.len(), 4);
+/// assert_eq!(sweep[0].0, 3); // lp.3 first
+/// ```
 pub fn lp_k_sweep(instance: &Instance) -> Result<Vec<(usize, Time)>> {
-    LpKConfig::PAPER_WINDOW_SIZES
-        .iter()
-        .map(|&k| {
-            let schedule = lp_k(instance, LpKConfig { window: k })?;
-            Ok((k, schedule.makespan(instance)))
-        })
-        .collect()
+    lp_k_sweep_sizes(instance, &LpKConfig::PAPER_WINDOW_SIZES)
+}
+
+/// [`lp_k_sweep`] over arbitrary window sizes. Each window size is an
+/// independent `lp.k` solve, so on instances of at least
+/// [`PARALLEL_SWEEP_MIN_TASKS`] tasks the sizes are solved on scoped
+/// threads; results (and the reported error, if any: the one for the
+/// earliest failing size) are identical to solving the sizes one by one.
+pub fn lp_k_sweep_sizes(instance: &Instance, sizes: &[usize]) -> Result<Vec<(usize, Time)>> {
+    let threads = if instance.len() < PARALLEL_SWEEP_MIN_TASKS {
+        1
+    } else {
+        // One worker per size, but never more than the machine offers —
+        // `sizes` is caller-controlled and may be long.
+        sizes
+            .len()
+            .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    };
+    run_indexed_pool(sizes.len(), threads, |index| {
+        let k = sizes[index];
+        let schedule = lp_k(instance, LpKConfig { window: k })?;
+        Ok((k, schedule.makespan(instance)))
+    })
 }
 
 #[cfg(test)]

@@ -34,4 +34,4 @@ pub mod iterative;
 pub mod window;
 
 pub use formulation::MilpFormulation;
-pub use iterative::{lp_k, LpKConfig};
+pub use iterative::{lp_k, lp_k_sweep, lp_k_sweep_sizes, LpKConfig, PARALLEL_SWEEP_MIN_TASKS};

@@ -1,0 +1,109 @@
+//! Equivalence suite for the parallel solve layers of the `lp.k` pipeline:
+//! the parallel window enumeration and the parallel window-size sweep must
+//! produce results identical to their sequential counterparts — not merely
+//! equal makespans, but the same schedules, including which of several
+//! key-tied orderings wins.
+
+use dts_core::instances::{random_instance_decoupled_memory, table3, table5};
+use dts_core::prelude::*;
+use dts_milp::window::{solve_window_parallel, solve_window_sequential, WindowState};
+use dts_milp::{lp_k, lp_k_sweep, LpKConfig, PARALLEL_SWEEP_MIN_TASKS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_solutions_identical(instance: &Instance, state: &WindowState, window: &[TaskId]) {
+    let sequential = solve_window_sequential(instance, state, window);
+    let parallel = solve_window_parallel(instance, state, window);
+    assert_eq!(
+        sequential.entries,
+        parallel.entries,
+        "entries diverged on {} (window of {})",
+        instance.label,
+        window.len()
+    );
+    assert_eq!(sequential.state.link_free, parallel.state.link_free);
+    assert_eq!(sequential.state.cpu_free, parallel.state.cpu_free);
+    assert_eq!(
+        sequential.state.pending_releases,
+        parallel.state.pending_releases
+    );
+}
+
+#[test]
+fn parallel_window_solver_matches_sequential_on_paper_fixtures() {
+    for instance in [table3(), table5()] {
+        let window = instance.task_ids();
+        assert_solutions_identical(&instance, &WindowState::default(), &window);
+    }
+}
+
+#[test]
+fn parallel_window_solver_matches_sequential_on_seeded_instances() {
+    // Windows of every size the solver accepts, both cold and warm-started.
+    // Small value domains (the generator's defaults are already narrow)
+    // produce plenty of key ties, which is exactly where a combination-order
+    // bug between the per-prefix workers would show.
+    let mut rng = StdRng::seed_from_u64(2025);
+    for seed in 0..8u64 {
+        for size in 1..=8usize {
+            let instance = random_instance_decoupled_memory(&mut rng, size, 1.2);
+            let window = instance.task_ids();
+            assert_solutions_identical(&instance, &WindowState::default(), &window);
+
+            // Warm start: pretend earlier windows still hold some memory.
+            let held = instance.min_capacity().bytes() / 2;
+            let state = WindowState {
+                link_free: Time::units_int(seed + 1),
+                cpu_free: Time::units_int(seed + 3),
+                pending_releases: vec![(
+                    Time::units_int(seed + 2 + rng.gen_range(0..4u64)),
+                    MemSize::from_bytes(held),
+                )],
+            };
+            assert_solutions_identical(&instance, &state, &window);
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_per_size_runs() {
+    // Large enough to cross PARALLEL_SWEEP_MIN_TASKS, so the sweep takes the
+    // threaded path; the small paper fixtures exercise the sequential path.
+    let mut rng = StdRng::seed_from_u64(11);
+    let big = random_instance_decoupled_memory(&mut rng, PARALLEL_SWEEP_MIN_TASKS + 9, 1.25);
+    for instance in [table3(), table5(), big] {
+        let sweep = lp_k_sweep(&instance).unwrap();
+        assert_eq!(sweep.len(), LpKConfig::PAPER_WINDOW_SIZES.len());
+        for (i, &k) in LpKConfig::PAPER_WINDOW_SIZES.iter().enumerate() {
+            assert_eq!(sweep[i].0, k, "sweep rows must stay in size order");
+            let reference = lp_k(&instance, LpKConfig { window: k })
+                .unwrap()
+                .makespan(&instance);
+            assert_eq!(sweep[i].1, reference, "lp.{k} on {}", instance.label);
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_reports_the_earliest_failing_size() {
+    // A malformed (deserialized) instance fails every window size with the
+    // same error; the sweep must report it exactly like a sequential run.
+    let json = format!(
+        r#"{{
+            "tasks": [{}],
+            "capacity": 4,
+            "label": "malformed"
+        }}"#,
+        (0..PARALLEL_SWEEP_MIN_TASKS + 1)
+            .map(|i| format!(
+                r#"{{"name": "t{i}", "comm_time": 1000, "comp_time": 1000, "mem": {}}}"#,
+                if i == 3 { 9 } else { 2 }
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let instance: Instance = serde_json::from_str(&json).unwrap();
+    let parallel_err = lp_k_sweep(&instance).unwrap_err();
+    let sequential_err = lp_k(&instance, LpKConfig { window: 3 }).unwrap_err();
+    assert_eq!(parallel_err, sequential_err);
+}
