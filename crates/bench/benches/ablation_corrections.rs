@@ -3,7 +3,7 @@
 //! DESIGN.md). Compares every static order executed as-is against the same
 //! order with dynamic corrections.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::bench_traces;
 use dts_chem::Kernel;
 use dts_core::simulate::simulate_sequence;
@@ -65,4 +65,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("ablation_corrections", benches);

@@ -1,6 +1,6 @@
 //! Fig. 10: best variant of each heuristic category on the HF traces.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::{bench_traces, run_best_variant_experiment};
 use dts_chem::Kernel;
 use dts_heuristics::{best_in_category, HeuristicCategory};
@@ -22,4 +22,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig10_hf_best_variants", benches);

@@ -1,7 +1,7 @@
 //! Fig. 11: every heuristic on the CCSD traces across the memory-capacity
 //! sweep (distributions of the ratio to optimal).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::{bench_traces, run_all_heuristics_experiment};
 use dts_chem::Kernel;
 use dts_heuristics::{run_heuristic, Heuristic};
@@ -24,4 +24,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig11_ccsd_all_heuristics", benches);

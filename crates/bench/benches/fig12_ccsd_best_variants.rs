@@ -1,6 +1,6 @@
 //! Fig. 12: best variant of each heuristic category on the CCSD traces.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::{bench_traces, run_best_variant_experiment};
 use dts_chem::Kernel;
 use dts_heuristics::{best_in_category, HeuristicCategory};
@@ -19,4 +19,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig12_ccsd_best_variants", benches);

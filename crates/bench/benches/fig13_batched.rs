@@ -1,7 +1,7 @@
 //! Fig. 13: heuristics applied in batches of 100 tasks (the scheduler only
 //! sees a limited window of independent tasks), best variant per category.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::{bench_traces, run_best_variant_experiment};
 use dts_chem::Kernel;
 use dts_heuristics::batch::{run_heuristic_batched, BatchConfig};
@@ -33,4 +33,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig13_batched", benches);

@@ -1,7 +1,7 @@
 //! Fig. 3 / Table 2 / Proposition 1: with a memory constraint, the optimal
 //! communication and computation orders may differ.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_core::instances::table2;
 use dts_flowshop::exact::{optimal_free_order, optimal_same_order};
 
@@ -34,4 +34,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig3_order_mismatch", benches);

@@ -1,7 +1,7 @@
 //! Fig. 4 / Table 3: schedules of the static-order heuristics with a memory
 //! capacity of 6 (OMIM = 12).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_core::instances::table3;
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
@@ -58,4 +58,4 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig4_static_orders", benches);

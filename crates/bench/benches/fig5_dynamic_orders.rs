@@ -1,7 +1,7 @@
 //! Fig. 5 / Table 4: schedules of the dynamic heuristics with a memory
 //! capacity of 6.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_core::instances::table4;
 use dts_heuristics::{run_heuristic, Heuristic};
 
@@ -42,4 +42,4 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig5_dynamic_orders", benches);

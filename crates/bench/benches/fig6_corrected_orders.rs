@@ -1,7 +1,7 @@
 //! Fig. 6 / Table 5: schedules of the static-order-with-dynamic-corrections
 //! heuristics with a memory capacity of 9 (Johnson order B C D E A).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_core::instances::table5;
 use dts_flowshop::johnson::johnson_order;
 use dts_heuristics::{run_heuristic, Heuristic};
@@ -47,4 +47,4 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig6_corrected_orders", benches);

@@ -1,7 +1,7 @@
 //! Fig. 7: the proposed heuristics against the iterative MILP heuristic
 //! lp.k (k = 3..6) on a single HF trace across memory capacities.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_analysis::experiment::lp_comparison_experiment;
 use dts_bench::bench_traces;
 use dts_chem::Kernel;
@@ -59,4 +59,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig7_milp_comparison", benches);

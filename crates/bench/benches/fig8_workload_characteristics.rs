@@ -1,7 +1,7 @@
 //! Fig. 8: workload characteristics of the HF and CCSD traces (sum of
 //! communication, sum of computation, max and sum — ratios to OMIM).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::{bench_traces, run_characterization};
 use dts_chem::{characterize, Kernel};
 
@@ -23,4 +23,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig8_workload_characteristics", benches);

@@ -1,7 +1,7 @@
 //! Fig. 9: every heuristic on the HF traces across the memory-capacity
 //! sweep (distributions of the ratio to optimal).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_bench::{bench_traces, run_all_heuristics_experiment};
 use dts_chem::Kernel;
 use dts_heuristics::{run_heuristic, Heuristic};
@@ -27,4 +27,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("fig9_hf_all_heuristics", benches);

@@ -12,7 +12,7 @@
 //! recorded numbers). Set `DTS_BENCH_SCALE_MAX` (tasks, default 50000) to
 //! cap the largest instance attempted.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_core::instances::random_instance_decoupled_memory;
 use dts_heuristics::{
     run_heuristic, run_heuristic_batched, run_heuristic_batched_pooled, BatchConfig, Heuristic,
@@ -22,10 +22,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn max_tasks() -> usize {
+    let default = if criterion::smoke_mode() {
+        // Smoke profile: the 1k instances exercise every code path in
+        // milliseconds; 10k/50k are for real perf sessions.
+        1_000
+    } else {
+        50_000
+    };
     std::env::var("DTS_BENCH_SCALE_MAX")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(50_000)
+        .unwrap_or(default)
 }
 
 fn bench(c: &mut Criterion) {
@@ -85,7 +92,10 @@ fn bench(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(1);
+    // One sample per 10k/50k instance keeps a full run bearable; the smoke
+    // profile only touches the 1k instances, where ten samples are cheap
+    // and give the regression gate a real confidence interval.
+    config = Criterion::default().sample_size(if criterion::smoke_mode() { 10 } else { 1 });
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("scale_large_instances", benches);

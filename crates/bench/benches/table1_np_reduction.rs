@@ -2,7 +2,7 @@
 //! instances, constructs the tight schedule from a known partition and
 //! verifies the target makespan is met exactly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_flowshop::reduction::{three_partition_to_dt, ThreePartitionInstance};
 
 fn report() {
@@ -48,4 +48,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("table1_np_reduction", benches);

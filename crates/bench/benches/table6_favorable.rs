@@ -1,7 +1,7 @@
 //! Table 6: favorable situations per heuristic category — mean ratio of the
 //! best variant of each category as the memory capacity grows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use dts_analysis::experiment::category_means;
 use dts_bench::{bench_traces, quick_factors};
 use dts_chem::Kernel;
@@ -36,4 +36,4 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench
 }
-criterion_main!(benches);
+dts_bench::harness_main!("table6_favorable", benches);

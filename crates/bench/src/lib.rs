@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use dts_analysis::experiment::{best_variant_experiment, heuristic_experiment};
 use dts_analysis::report::experiment_to_markdown;
 use dts_analysis::sweep::{capacity_factors, SweepConfig};
@@ -25,12 +27,13 @@ use dts_heuristics::batch::BatchConfig;
 
 /// Number of trace ranks used by the suite-level experiments. Controlled by
 /// the `DTS_BENCH_RANKS` environment variable (default 4, the paper uses
-/// 150).
+/// 150; the `--smoke` profile drops to 1 unless the variable overrides it).
 pub fn bench_ranks() -> usize {
+    let default = if criterion::smoke_mode() { 1 } else { 4 };
     std::env::var("DTS_BENCH_RANKS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
+        .unwrap_or(default)
         .clamp(1, 150)
 }
 

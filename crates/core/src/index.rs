@@ -129,15 +129,16 @@ impl RatioNode {
         best
     }
 
-    /// Neutralizes the task stored at `(mem, pos)`.
-    fn remove(&mut self, mem: u64, pos: u32) {
+    /// Sets the aggregate key of the task stored at `(mem, pos)`:
+    /// [`RATIO_NEUTRAL`] on removal, the task's `(ratio, id)` on restore.
+    fn set(&mut self, mem: u64, pos: u32, key: RatioBest) {
         let idx = self
             .by_mem
             .binary_search(&(mem, pos))
             .expect("task is present in every range-tree node covering it");
         let len = self.by_mem.len();
         let mut i = len + idx;
-        self.inner[i] = RATIO_NEUTRAL;
+        self.inner[i] = key;
         while i > 1 {
             i >>= 1;
             self.inner[i] = ratio_combine(self.inner[2 * i], self.inner[2 * i + 1]);
@@ -182,6 +183,10 @@ pub struct CandidateIndex {
     /// Ratio range tree, indexed like `min_mem`; `None` for
     /// [`comm_only`](CandidateIndex::comm_only) indexes.
     ratio_tree: Option<Vec<RatioNode>>,
+    /// Acceleration ratio at each position (empty for
+    /// [`comm_only`](CandidateIndex::comm_only) indexes); needed to rebuild
+    /// a leaf's aggregate key on [`restore`](CandidateIndex::restore).
+    ratio: Vec<f64>,
 }
 
 impl CandidateIndex {
@@ -246,11 +251,15 @@ impl CandidateIndex {
         // leaves), building each node's inner ratio tree as it forms. Only
         // this tree consumes the acceleration ratios, so they are computed
         // here and not at all for `comm_only` indexes.
-        let ratio_tree = with_ratio_tree.then(|| {
-            let ratio: Vec<f64> = id_at
+        let ratio: Vec<f64> = if with_ratio_tree {
+            id_at
                 .iter()
                 .map(|&id| instance.task(id).acceleration_ratio())
-                .collect();
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let ratio_tree = with_ratio_tree.then(|| {
             let mut tree = vec![RatioNode::default(); 2 * base];
             let key_of = |pos: u32| -> RatioBest {
                 (ratio[pos as usize], id_at[pos as usize].index() as u32)
@@ -275,6 +284,7 @@ impl CandidateIndex {
             base,
             min_mem,
             ratio_tree,
+            ratio,
         }
     }
 
@@ -306,9 +316,38 @@ impl CandidateIndex {
         assert!(self.present[pos], "task {id} removed twice");
         self.present[pos] = false;
         self.len -= 1;
+        self.write_leaf(pos, MEM_ABSENT, RATIO_NEUTRAL);
+    }
 
+    /// Puts a previously [`remove`](CandidateIndex::remove)d task back into
+    /// the index — the inverse operation, used when a speculative scheduling
+    /// decision is rolled back. O(log² n) (O(log n) without the ratio
+    /// tree), like removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is still present.
+    pub fn restore(&mut self, id: TaskId) {
+        let pos = self.pos_of[id.index()] as usize;
+        assert!(!self.present[pos], "task {id} restored while present");
+        self.present[pos] = true;
+        self.len += 1;
+        let key = (
+            self.ratio.get(pos).copied().unwrap_or(f64::NEG_INFINITY),
+            self.id_at[pos].index() as u32,
+        );
+        self.write_leaf(pos, u128::from(self.mem[pos]), key);
+    }
+
+    /// Writes a position's leaf values — the memory sentinel/value and the
+    /// ratio-tree key — and re-aggregates both trees along the root path.
+    /// The single update ladder behind both
+    /// [`remove`](CandidateIndex::remove) and
+    /// [`restore`](CandidateIndex::restore). `key` is ignored for
+    /// [`comm_only`](CandidateIndex::comm_only) indexes.
+    fn write_leaf(&mut self, pos: usize, mem_leaf: u128, key: RatioBest) {
         let mut i = self.base + pos;
-        self.min_mem[i] = MEM_ABSENT;
+        self.min_mem[i] = mem_leaf;
         while i > 1 {
             i >>= 1;
             self.min_mem[i] = self.min_mem[2 * i].min(self.min_mem[2 * i + 1]);
@@ -318,7 +357,7 @@ impl CandidateIndex {
             let (m, pos32) = (self.mem[pos], pos as u32);
             let mut i = self.base + pos;
             while i >= 1 {
-                tree[i].remove(m, pos32);
+                tree[i].set(m, pos32, key);
                 if i == 1 {
                     break;
                 }
@@ -561,6 +600,43 @@ mod tests {
             index.best_ratio_candidate_within(all, Time::units_int(10)),
             None
         );
+    }
+
+    #[test]
+    fn restore_undoes_removal_for_every_query() {
+        let inst = table4();
+        let mut index = CandidateIndex::new(&inst);
+        let all = MemSize::from_bytes(6);
+        let bound = Time::units_int(5);
+
+        index.remove(TaskId(1));
+        index.remove(TaskId(2));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.min_comm_candidate(all), Some(TaskId(0)));
+
+        // Restoring B re-establishes the original answers.
+        index.restore(TaskId(1));
+        assert!(index.contains(TaskId(1)));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.min_comm_candidate(all), Some(TaskId(1)));
+        assert_eq!(
+            index.best_ratio_candidate_within(all, bound),
+            Some(TaskId(1))
+        );
+
+        index.restore(TaskId(2));
+        assert_eq!(
+            index.max_comm_candidate_within(all, Time::units_int(4)),
+            Some(TaskId(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "restored while present")]
+    fn restoring_a_present_task_panics() {
+        let inst = table4();
+        let mut index = CandidateIndex::new(&inst);
+        index.restore(TaskId(0));
     }
 
     #[test]

@@ -32,7 +32,9 @@
 //! * [`metrics`] — makespan, idle-time and overlap metrics,
 //! * [`gantt`] — ASCII Gantt rendering of schedules,
 //! * [`instances`] — the example instances of Tables 2–5 of the paper and
-//!   random-instance generators used by tests and benchmarks.
+//!   random-instance generators used by tests and benchmarks,
+//! * [`testgen`] — shrinkable `microcheck` generators for tasks and
+//!   instances, shared by the property tests across the workspace.
 
 #![warn(missing_docs)]
 
@@ -48,6 +50,7 @@ pub mod pool;
 pub mod schedule;
 pub mod simulate;
 pub mod task;
+pub mod testgen;
 pub mod time;
 
 pub use error::{CoreError, Result};

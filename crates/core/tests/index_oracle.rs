@@ -60,6 +60,61 @@ fn naive_best_ratio(
         .map(|(id, _)| id)
 }
 
+/// Compares every index query (and the `comm_only` twin) against the naive
+/// scans for one `(free, bound)` probe. Returns the first mismatch as a
+/// message, so both the assert-style suite and the `microcheck` properties
+/// below share it.
+fn probe_queries(
+    instance: &Instance,
+    alive: &[bool],
+    index: &CandidateIndex,
+    comm_only: &CandidateIndex,
+    free: MemSize,
+    bound: Time,
+) -> Result<(), String> {
+    let mismatch = |query: &str, got: Option<TaskId>, want: Option<TaskId>| {
+        Err(format!(
+            "{query} free={free:?} bound={bound:?}: index {got:?}, oracle {want:?}"
+        ))
+    };
+    let (got, want) = (
+        index.min_comm_candidate(free),
+        naive_min_comm(instance, alive, free),
+    );
+    if got != want {
+        return mismatch("min_comm", got, want);
+    }
+    let (got, want) = (
+        index.max_comm_candidate_within(free, bound),
+        naive_max_comm(instance, alive, free, bound),
+    );
+    if got != want {
+        return mismatch("max_comm", got, want);
+    }
+    let (got, want) = (
+        index.best_ratio_candidate_within(free, bound),
+        naive_best_ratio(instance, alive, free, bound),
+    );
+    if got != want {
+        return mismatch("best_ratio", got, want);
+    }
+    let (got, want) = (
+        comm_only.min_comm_candidate(free),
+        index.min_comm_candidate(free),
+    );
+    if got != want {
+        return mismatch("comm_only min_comm", got, want);
+    }
+    let (got, want) = (
+        comm_only.max_comm_candidate_within(free, bound),
+        index.max_comm_candidate_within(free, bound),
+    );
+    if got != want {
+        return mismatch("comm_only max_comm", got, want);
+    }
+    Ok(())
+}
+
 /// Drives the index through a random removal order, probing all three
 /// queries with random thresholds between removals.
 fn check_against_oracle(instance: &Instance, rng: &mut StdRng, context: &str) {
@@ -91,31 +146,9 @@ fn check_against_oracle(instance: &Instance, rng: &mut StdRng, context: &str) {
             // partial and full candidate sets.
             let free = MemSize::from_bytes(rng.gen_range(0..=max_mem.saturating_add(1)));
             let bound = Time::from_ticks(rng.gen_range(0..=max_comm.saturating_add(1)));
-            assert_eq!(
-                index.min_comm_candidate(free),
-                naive_min_comm(instance, &alive, free),
-                "{context}: min_comm free={free:?}"
-            );
-            assert_eq!(
-                index.max_comm_candidate_within(free, bound),
-                naive_max_comm(instance, &alive, free, bound),
-                "{context}: max_comm free={free:?} bound={bound:?}"
-            );
-            assert_eq!(
-                index.best_ratio_candidate_within(free, bound),
-                naive_best_ratio(instance, &alive, free, bound),
-                "{context}: best_ratio free={free:?} bound={bound:?}"
-            );
-            assert_eq!(
-                comm_only.min_comm_candidate(free),
-                index.min_comm_candidate(free),
-                "{context}: comm_only min_comm free={free:?}"
-            );
-            assert_eq!(
-                comm_only.max_comm_candidate_within(free, bound),
-                index.max_comm_candidate_within(free, bound),
-                "{context}: comm_only max_comm free={free:?} bound={bound:?}"
-            );
+            if let Err(m) = probe_queries(instance, &alive, &index, &comm_only, free, bound) {
+                panic!("{context}: {m}");
+            }
         }
         index.remove(TaskId(victim));
         comm_only.remove(TaskId(victim));
@@ -190,6 +223,115 @@ fn ratio_query_on_comm_only_index_panics() {
         .unwrap();
     let index = CandidateIndex::comm_only(&instance);
     let _ = index.best_ratio_candidate_within(MemSize::from_bytes(6), Time::units_int(1));
+}
+
+/// Replays a seeded interleaving of removals, restores and query probes on
+/// a generated instance, checking every probe against the naive oracle.
+/// Pure function of `(spec, op_seed)`, so a failing interleaving shrinks
+/// with the instance.
+fn check_interleaved(spec: &dts_core::testgen::InstanceSpec, op_seed: u64) -> Result<(), String> {
+    let instance = spec.build();
+    let mut index = CandidateIndex::new(&instance);
+    let mut comm_only = CandidateIndex::comm_only(&instance);
+    let mut alive = vec![true; instance.len()];
+    let mut rng = StdRng::seed_from_u64(op_seed);
+    let max_mem = instance
+        .tasks()
+        .iter()
+        .map(|t| t.mem.bytes())
+        .max()
+        .unwrap_or(0);
+    let max_comm = instance
+        .tasks()
+        .iter()
+        .map(|t| t.comm_time.ticks())
+        .max()
+        .unwrap_or(0);
+
+    for _ in 0..4 * instance.len().max(8) {
+        match rng.gen_range(0u32..4) {
+            // Remove a random alive task.
+            0 => {
+                let candidates: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+                if let Some(&victim) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                    index.remove(TaskId(victim));
+                    comm_only.remove(TaskId(victim));
+                    alive[victim] = false;
+                }
+            }
+            // Restore a random removed task.
+            1 => {
+                let candidates: Vec<usize> = (0..alive.len()).filter(|&i| !alive[i]).collect();
+                if let Some(&revived) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                    index.restore(TaskId(revived));
+                    comm_only.restore(TaskId(revived));
+                    alive[revived] = true;
+                }
+            }
+            // Probe all queries with random thresholds.
+            _ => {
+                let free = MemSize::from_bytes(rng.gen_range(0..=max_mem.saturating_add(1)));
+                let bound = Time::from_ticks(rng.gen_range(0..=max_comm.saturating_add(1)));
+                probe_queries(&instance, &alive, &index, &comm_only, free, bound)?;
+            }
+        }
+        let live = alive.iter().filter(|a| **a).count();
+        if index.len() != live || comm_only.len() != live {
+            return Err(format!(
+                "length drifted: index {} / comm_only {} vs oracle {live}",
+                index.len(),
+                comm_only.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+microcheck::property! {
+    /// Random remove/restore/query interleavings on the default task
+    /// domain agree with the naive oracle at every step.
+    fn interleavings_agree_with_the_oracle(
+        (spec, op_seed) in (
+            dts_core::testgen::instance_gen(1..=40),
+            microcheck::gens::u64_in(0..=u64::MAX),
+        ),
+        cases = 150,
+    ) {
+        check_interleaved(&spec, op_seed)?;
+    }
+
+    /// The same under heavy ties: tiny value domains where id tie-breaking
+    /// is all that separates candidates (including zero-comm tasks with
+    /// infinite acceleration ratios).
+    fn tie_heavy_interleavings_agree_with_the_oracle(
+        (spec, op_seed) in (
+            dts_core::testgen::instance_gen_with(
+                dts_core::testgen::tie_heavy_task_gen(),
+                1..=18,
+                0..=2,
+            ),
+            microcheck::gens::u64_in(0..=u64::MAX),
+        ),
+        cases = 150,
+    ) {
+        check_interleaved(&spec, op_seed)?;
+    }
+
+    /// And at the top of the `u64` memory domain, where a removed slot's
+    /// sentinel must stay distinguishable from a real `u64::MAX`-byte task.
+    fn u64_scale_interleavings_agree_with_the_oracle(
+        (spec, op_seed) in (
+            dts_core::testgen::instance_gen_with(
+                dts_core::testgen::task_gen(0..=3, 0..=3, u64::MAX - 3..=u64::MAX),
+                1..=10,
+                0..=1,
+            ),
+            microcheck::gens::u64_in(0..=u64::MAX),
+        ),
+        cases = 60,
+    ) {
+        check_interleaved(&spec, op_seed)?;
+    }
 }
 
 #[test]

@@ -67,7 +67,6 @@ pub fn swap_does_not_improve(t1: Time, t2: Time, a: &Task, b: &Task) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
 
     fn task(comm: u64, comp: u64) -> Task {
         Task::new(
@@ -120,22 +119,27 @@ mod tests {
         assert!(!swap_does_not_improve(Time::ZERO, Time::ZERO, &a, &b));
     }
 
-    /// Draws a random `(a, b, t1, t2)` experiment from the same domains the
-    /// original proptest strategies used.
-    fn random_pair(rng: &mut StdRng) -> (Task, Task, Time, Time) {
-        let a = task(rng.gen_range(0u64..30), rng.gen_range(0u64..30));
-        let b = task(rng.gen_range(0u64..30), rng.gen_range(0u64..30));
-        let t1 = Time::units_int(rng.gen_range(0u64..20));
-        let t2 = Time::units_int(rng.gen_range(0u64..20));
-        (a, b, t1, t2)
+    /// The `(CM_A, CP_A, CM_B, CP_B, t1, t2)` experiment domain — the same
+    /// ranges the original proptest strategies (and the seeded loops that
+    /// replaced them) used.
+    fn experiment_domain() -> impl microcheck::Gen<Value = (u64, u64, u64, u64, u64, u64)> {
+        use microcheck::gens::u64_in;
+        (
+            u64_in(0..=29),
+            u64_in(0..=29),
+            u64_in(0..=29),
+            u64_in(0..=29),
+            u64_in(0..=19),
+            u64_in(0..=19),
+        )
     }
 
-    /// Machine-check of Lemma 1: whenever one of the three conditions holds,
-    /// the swap never improves the pair completion time, for any initial
-    /// resource availability. Exhaustive over the task-pair domain at zero
-    /// offsets plus seeded random sampling of the full domain.
+    /// Exhaustive machine-check of Lemma 1 at zero offsets: whenever one of
+    /// the three conditions holds, the swap never improves the pair
+    /// completion time. (The random-offset sampling lives in the
+    /// `microcheck` property below.)
     #[test]
-    fn lemma_holds_for_all_cases() {
+    fn lemma_holds_exhaustively_at_zero_offsets() {
         for cm_a in 0u64..30 {
             for cp_a in 0u64..30 {
                 for cm_b in 0u64..30 {
@@ -152,28 +156,84 @@ mod tests {
                 }
             }
         }
-        let mut rng = StdRng::seed_from_u64(0x1e3a);
-        for _ in 0..20_000 {
-            let (a, b, t1, t2) = random_pair(&mut rng);
+    }
+
+    microcheck::property! {
+        /// Machine-check of Lemma 1 over the full domain, arbitrary initial
+        /// resource availability included: whenever one of the three
+        /// conditions holds, the swap never improves.
+        fn lemma_holds_on_random_experiments(
+            (cm_a, cp_a, cm_b, cp_b, t1, t2) in experiment_domain(),
+            cases = 20_000,
+        ) {
+            let (a, b) = (task(cm_a, cp_a), task(cm_b, cp_b));
+            let (t1, t2) = (Time::units_int(t1), Time::units_int(t2));
             if lemma_case(&a, &b).is_some() {
-                assert!(
+                microcheck::prop_assert!(
                     swap_does_not_improve(t1, t2, &a, &b),
                     "lemma violated for a={a:?} b={b:?} t1={t1:?} t2={t2:?}"
                 );
             }
         }
-    }
 
-    /// The link completion time is order-independent (used implicitly in
-    /// the proof of Lemma 1).
-    #[test]
-    fn link_completion_is_order_independent() {
-        let mut rng = StdRng::seed_from_u64(0x117c);
-        for _ in 0..20_000 {
-            let (a, b, t1, t2) = random_pair(&mut rng);
+        /// The link completion time is order-independent (used implicitly
+        /// in the proof of Lemma 1).
+        fn link_completion_is_order_independent(
+            (cm_a, cp_a, cm_b, cp_b, t1, t2) in experiment_domain(),
+            cases = 20_000,
+        ) {
+            let (a, b) = (task(cm_a, cp_a), task(cm_b, cp_b));
+            let (t1, t2) = (Time::units_int(t1), Time::units_int(t2));
             let (link_ab, _) = schedule_pair(t1, t2, &a, &b);
             let (link_ba, _) = schedule_pair(t1, t2, &b, &a);
-            assert_eq!(link_ab, link_ba, "a={a:?} b={b:?} t1={t1:?} t2={t2:?}");
+            microcheck::prop_assert_eq!(
+                link_ab,
+                link_ba,
+                "a={a:?} b={b:?} t1={t1:?} t2={t2:?}"
+            );
         }
+    }
+
+    /// A deliberately broken "lemma" — claiming the swap *never* improves,
+    /// with the precondition dropped — must not only fail but shrink to the
+    /// smallest counterexample in the domain: `A` transfers for one unit,
+    /// `B` computes for one unit, everything else zero. That pair is the
+    /// minimal witness that order matters at all (Johnson's rule would put
+    /// `B` first), so reaching it demonstrates the shrinker finds global
+    /// minima, not just smaller failures.
+    #[test]
+    fn broken_lemma_shrinks_to_the_minimal_counterexample() {
+        let failure = microcheck::check(
+            &microcheck::Config::default(),
+            &experiment_domain(),
+            |&(cm_a, cp_a, cm_b, cp_b, t1, t2)| {
+                let (a, b) = (task(cm_a, cp_a), task(cm_b, cp_b));
+                microcheck::prop_assert!(swap_does_not_improve(
+                    Time::units_int(t1),
+                    Time::units_int(t2),
+                    &a,
+                    &b
+                ));
+                Ok(())
+            },
+        )
+        .expect_err("the precondition-free lemma is false");
+
+        let (cm_a, cp_a, cm_b, cp_b, t1, t2) = failure.minimal;
+        // Still a counterexample after minimization...
+        assert!(!swap_does_not_improve(
+            Time::units_int(t1),
+            Time::units_int(t2),
+            &task(cm_a, cp_a),
+            &task(cm_b, cp_b)
+        ));
+        // ...and of minimal size: total task volume 2, zero offsets. Any
+        // improving swap needs CM_A >= 1 and CP_B >= 1, so this is the
+        // unique minimum.
+        assert_eq!(
+            (cm_a, cp_a, cm_b, cp_b, t1, t2),
+            (1, 0, 0, 1, 0, 0),
+            "minimized counterexample should be the unit witness"
+        );
     }
 }

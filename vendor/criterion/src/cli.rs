@@ -1,0 +1,263 @@
+//! Benchmark command-line interface.
+//!
+//! `cargo bench -- <args>` hands everything after `--` to each bench
+//! binary. [`init_from_env`] parses those arguments once per process (the
+//! entry-point macros call it); unknown flags are a **usage error** — the
+//! process prints the usage text and exits nonzero, so a typo like
+//! `--smok` or `--save-baselin` fails loudly instead of silently running a
+//! default measurement.
+
+use std::sync::OnceLock;
+
+/// Everything the command line (plus the `CRITERION_INJECT_SLOWDOWN` test
+/// hook) can configure for one benchmark process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliConfig {
+    /// Substring filter: only benchmark ids containing it run.
+    pub filter: Option<String>,
+    /// Record every measurement as a baseline with this name.
+    pub save_baseline: Option<String>,
+    /// Compare every measurement against the named baseline and fail the
+    /// process on regressions.
+    pub compare_baseline: Option<String>,
+    /// Smoke profile: clamp warmup to one pass and samples to
+    /// [`SMOKE_MAX_SAMPLES`](crate::SMOKE_MAX_SAMPLES); benchmark data
+    /// generators also consult this (via [`smoke_mode`](crate::smoke_mode))
+    /// to shrink their workloads.
+    pub smoke: bool,
+    /// Override of every benchmark's configured sample count.
+    pub sample_size: Option<usize>,
+    /// Override of every benchmark's configured warmup pass count.
+    pub warmup: Option<usize>,
+    /// Relative mean change below which a comparison is "no change"
+    /// (fraction, e.g. `0.05` = 5%). The effective threshold is widened by
+    /// the measured confidence intervals — see
+    /// [`compare`](crate::report::compare).
+    pub noise_threshold: f64,
+    /// Multiplier applied to every measured sample (`1.0` = off). Set via
+    /// the `CRITERION_INJECT_SLOWDOWN` environment variable; exists so the
+    /// regression gate can be exercised end-to-end without editing a
+    /// kernel.
+    pub inject_slowdown: f64,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            filter: None,
+            save_baseline: None,
+            compare_baseline: None,
+            smoke: false,
+            sample_size: None,
+            warmup: None,
+            noise_threshold: 0.05,
+            inject_slowdown: 1.0,
+            help: false,
+        }
+    }
+}
+
+/// Usage text printed on `--help` and on usage errors.
+pub const USAGE: &str = "\
+Usage: <bench> [OPTIONS] [FILTER]
+
+Arguments:
+  [FILTER]                   only run benchmarks whose id contains FILTER
+
+Options:
+      --save-baseline <NAME>    save measurements under target/bench-baselines/<NAME>/
+      --baseline <NAME>         compare against baseline <NAME> (recorded, or committed
+                                under benches/baselines/<NAME>/); exit nonzero on regression
+      --noise-threshold <FRAC>  relative mean change treated as noise (default 0.05)
+      --smoke                   smoke profile: 1 warmup pass, few samples, reduced workloads
+      --sample-size <N>         override the per-benchmark sample count
+      --warm-up <N>             override the per-benchmark warmup pass count
+      --bench                   accepted and ignored (cargo passes it)
+  -h, --help                    print this help
+
+Environment:
+  CRITERION_BASELINE_DIR      overrides the baseline directory
+  CRITERION_INJECT_SLOWDOWN   multiplies every measured sample (self-test hook)
+  MICROCHECK_SEED / _CASES    (property tests, unrelated to benches)";
+
+/// Parses an argument list (without the program name). Pure function so
+/// tests can exercise every path without touching the process environment.
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<CliConfig, String> {
+    let mut config = CliConfig::default();
+    let mut iter = args.iter().map(|s| s.as_ref());
+    let take_value = |flag: &str, iter: &mut dyn Iterator<Item = &str>| {
+        // A following flag means the value was forgotten; swallowing it
+        // would silently disable that flag (e.g. `--save-baseline --smoke`
+        // running the full workload with a baseline named `--smoke`).
+        match iter.next() {
+            Some(value) if !value.starts_with('-') => Ok(value.to_owned()),
+            _ => Err(format!("flag `{flag}` expects a value")),
+        }
+    };
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--save-baseline" => config.save_baseline = Some(take_value(arg, &mut iter)?),
+            "--baseline" => config.compare_baseline = Some(take_value(arg, &mut iter)?),
+            "--noise-threshold" => {
+                let raw = take_value(arg, &mut iter)?;
+                let parsed: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid --noise-threshold `{raw}`"))?;
+                if !parsed.is_finite() || parsed < 0.0 {
+                    return Err(format!("invalid --noise-threshold `{raw}`"));
+                }
+                config.noise_threshold = parsed;
+            }
+            "--sample-size" => {
+                let raw = take_value(arg, &mut iter)?;
+                let parsed: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid --sample-size `{raw}`"))?;
+                if parsed == 0 {
+                    return Err("--sample-size must be at least 1".into());
+                }
+                config.sample_size = Some(parsed);
+            }
+            "--warm-up" => {
+                let raw = take_value(arg, &mut iter)?;
+                config.warmup = Some(
+                    raw.parse()
+                        .map_err(|_| format!("invalid --warm-up `{raw}`"))?,
+                );
+            }
+            "--smoke" => config.smoke = true,
+            // Cargo passes `--bench` to benchmark executables; accept it.
+            "--bench" => {}
+            "-h" | "--help" => config.help = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            positional => {
+                if let Some(previous) = &config.filter {
+                    return Err(format!(
+                        "at most one FILTER is accepted (got `{previous}` and `{positional}`)"
+                    ));
+                }
+                config.filter = Some(positional.to_owned());
+            }
+        }
+    }
+    Ok(config)
+}
+
+static CONFIG: OnceLock<CliConfig> = OnceLock::new();
+
+/// Parses the process arguments (and the `CRITERION_INJECT_SLOWDOWN`
+/// environment hook) into the global configuration. On a usage error the
+/// process prints the error plus [`USAGE`] to stderr and exits with code 2;
+/// `--help` prints [`USAGE`] and exits 0.
+///
+/// Called by [`criterion_main!`](crate::criterion_main) (and the bench
+/// harness) before any group runs; calling it twice is a no-op.
+pub fn init_from_env() {
+    if CONFIG.get().is_some() {
+        return;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if config.help {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    if let Ok(raw) = std::env::var("CRITERION_INJECT_SLOWDOWN") {
+        match raw.parse::<f64>() {
+            Ok(factor) if factor.is_finite() && factor > 0.0 => {
+                config.inject_slowdown = factor;
+            }
+            _ => {
+                eprintln!("error: invalid CRITERION_INJECT_SLOWDOWN `{raw}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let _ = CONFIG.set(config);
+}
+
+/// Installs an explicit configuration instead of parsing the process
+/// arguments — for harnesses and tests. No-op if a configuration is
+/// already installed.
+pub fn init_with(config: CliConfig) {
+    let _ = CONFIG.set(config);
+}
+
+/// The active configuration (defaults if [`init_from_env`] was never
+/// called, e.g. under `cargo test`).
+pub fn config() -> &'static CliConfig {
+    CONFIG.get_or_init(CliConfig::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_empty() {
+        let config = parse_args::<&str>(&[]).unwrap();
+        assert_eq!(config, CliConfig::default());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let config = parse_args(&[
+            "--smoke",
+            "--save-baseline",
+            "nightly",
+            "--baseline",
+            "ci-smoke",
+            "--noise-threshold",
+            "0.5",
+            "--sample-size",
+            "7",
+            "--warm-up",
+            "2",
+            "--bench",
+            "scale/",
+        ])
+        .unwrap();
+        assert!(config.smoke);
+        assert_eq!(config.save_baseline.as_deref(), Some("nightly"));
+        assert_eq!(config.compare_baseline.as_deref(), Some("ci-smoke"));
+        assert_eq!(config.noise_threshold, 0.5);
+        assert_eq!(config.sample_size, Some(7));
+        assert_eq!(config.warmup, Some(2));
+        assert_eq!(config.filter.as_deref(), Some("scale/"));
+        assert!(!config.help);
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        for bad in [
+            &["--smok"][..],
+            &["--save-baselin", "x"],
+            &["--sample-size"],
+            &["--sample-size", "0"],
+            &["--sample-size", "many"],
+            &["--noise-threshold", "-1"],
+            &["--noise-threshold", "NaN"],
+            &["--save-baseline", "--smoke"],
+            &["--baseline", "--bench"],
+            &["a", "b"],
+        ] {
+            assert!(parse_args(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn help_is_flagged_not_errored() {
+        assert!(parse_args(&["-h"]).unwrap().help);
+        assert!(parse_args(&["--help"]).unwrap().help);
+    }
+}

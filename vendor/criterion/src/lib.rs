@@ -1,14 +1,37 @@
-//! Vendored, API-compatible subset of `criterion`.
+//! Vendored, API-compatible subset of `criterion` with a statistics
+//! engine.
 //!
-//! Supports the benchmark surface the workspace uses: `Criterion::default()
+//! Supports the benchmark surface the workspace uses — `Criterion::default()
 //! .sample_size(n)`, `bench_function`, `Bencher::iter`, [`black_box`], and
-//! the `criterion_group!`/`criterion_main!` macros (both the simple and the
-//! `name/config/targets` forms). Measurement is a plain wall-clock loop —
-//! one warm-up pass, then `sample_size` samples — reporting min/mean/max
-//! per iteration. No statistics engine, plots or baselines; swap the real
-//! crate back in for those.
+//! the `criterion_group!`/`criterion_main!` macros — plus the measurement
+//! methodology a performance-reproduction needs before a speedup claim is
+//! trustworthy:
+//!
+//! * per-sample collection with configurable warmup passes and sample
+//!   count ([`Criterion::warm_up_passes`], [`Criterion::sample_size`], and
+//!   the `--warm-up`/`--sample-size` CLI overrides);
+//! * a bootstrap **95% confidence interval of the mean** and median/MAD
+//!   **outlier classification** per benchmark ([`stats::Summary`]);
+//! * named JSON **baselines**: `--save-baseline <name>` records under
+//!   `target/bench-baselines/<name>/`, `--baseline <name>` compares the
+//!   current run (falling back to the committed `benches/baselines/<name>/`
+//!   set) and makes the process exit nonzero when a mean regresses beyond a
+//!   noise-aware threshold ([`report::compare`]);
+//! * a `--smoke` profile for CI, and loud usage errors for unknown flags
+//!   ([`cli`]).
 
 use std::time::{Duration, Instant};
+
+pub mod cli;
+pub mod report;
+pub mod stats;
+
+pub use cli::{init_from_env, init_with, CliConfig};
+pub use report::{final_summary, take_reports, BenchReport, Comparison, Verdict};
+pub use stats::Summary;
+
+/// Sample-count cap applied by the `--smoke` profile.
+pub const SMOKE_MAX_SAMPLES: usize = 10;
 
 /// Opaque value barrier preventing the optimizer from deleting benchmarked
 /// work.
@@ -17,14 +40,24 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// `true` when the process runs under the `--smoke` CLI profile. Benchmark
+/// data generators consult this to shrink their workloads to CI scale.
+pub fn smoke_mode() -> bool {
+    cli::config().smoke
+}
+
 /// Benchmark driver holding measurement configuration.
 pub struct Criterion {
     sample_size: usize,
+    warmup_passes: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 100 }
+        Criterion {
+            sample_size: 100,
+            warmup_passes: 1,
+        }
     }
 }
 
@@ -36,34 +69,119 @@ impl Criterion {
         self
     }
 
-    /// Runs one benchmark and prints a one-line wall-clock summary.
+    /// Sets how many untimed warmup passes precede the timed samples
+    /// (default 1).
+    pub fn warm_up_passes(mut self, n: usize) -> Self {
+        self.warmup_passes = n;
+        self
+    }
+
+    fn effective_sample_size(&self, cli: &CliConfig) -> usize {
+        if let Some(n) = cli.sample_size {
+            return n;
+        }
+        if cli.smoke {
+            self.sample_size.min(SMOKE_MAX_SAMPLES)
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn effective_warmup(&self, cli: &CliConfig) -> usize {
+        if let Some(n) = cli.warmup {
+            return n;
+        }
+        if cli.smoke {
+            self.warmup_passes.min(1)
+        } else {
+            self.warmup_passes
+        }
+    }
+
+    /// Runs one benchmark: warmup passes, per-sample timing, summary
+    /// statistics, and — depending on the CLI mode — baseline recording or
+    /// regression comparison. Prints a one-line summary either way.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let cli = cli::config();
+        if let Some(filter) = &cli.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
         let mut bencher = Bencher {
             samples: Vec::new(),
         };
-        // Warm-up pass: populate caches and let lazy statics initialize.
-        f(&mut bencher);
-        bencher.samples.clear();
-        for _ in 0..self.sample_size {
+        for _ in 0..self.effective_warmup(cli) {
             f(&mut bencher);
         }
-        let per_iter: Vec<Duration> = bencher.samples;
-        if per_iter.is_empty() {
-            println!("{id:<40} no samples recorded");
+        bencher.samples.clear();
+        for _ in 0..self.effective_sample_size(cli) {
+            f(&mut bencher);
+        }
+        if bencher.samples.is_empty() {
+            println!("{id:<44} no samples recorded");
             return self;
         }
-        let min = per_iter.iter().min().unwrap();
-        let max = per_iter.iter().max().unwrap();
-        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let samples_ns: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 * cli.inject_slowdown)
+            .collect();
+        let summary = Summary::compute(&samples_ns, self.effective_warmup(cli), stats::id_seed(id));
         println!(
-            "{id:<40} time: [{} {} {}]",
-            format_duration(*min),
-            format_duration(mean),
-            format_duration(*max)
+            "{id:<44} mean {} [{} {}] (95% CI, {} samples), median {} ±{}{}",
+            format_ns(summary.mean_ns),
+            format_ns(summary.ci_lower_ns),
+            format_ns(summary.ci_upper_ns),
+            summary.sample_size,
+            format_ns(summary.median_ns),
+            format_ns(summary.mad_ns),
+            match (summary.mild_outliers, summary.severe_outliers) {
+                (0, 0) => String::new(),
+                (m, s) => format!(", outliers: {m} mild / {s} severe"),
+            }
         );
+
+        if let Some(name) = &cli.save_baseline {
+            match report::save_baseline(name, id, &summary) {
+                Ok(path) => println!("{:>44} saved baseline to {}", "", path.display()),
+                Err(e) => eprintln!("warning: could not save baseline '{name}' for {id}: {e}"),
+            }
+        }
+        let comparison =
+            cli.compare_baseline
+                .as_ref()
+                .and_then(|name| match report::load_baseline(name, id) {
+                    Some(baseline) => {
+                        let comparison =
+                            report::compare(name, &summary, &baseline, cli.noise_threshold);
+                        println!(
+                            "{:>44} vs '{name}': {:+.1}% (threshold ±{:.1}%) {}",
+                            "",
+                            (comparison.ratio - 1.0) * 100.0,
+                            comparison.effective_threshold * 100.0,
+                            match comparison.verdict {
+                                Verdict::Regression => "REGRESSION",
+                                Verdict::Improvement => "improvement",
+                                Verdict::Unchanged => "no change",
+                            }
+                        );
+                        Some(comparison)
+                    }
+                    None => {
+                        eprintln!("warning: no baseline '{name}' for {id} (new benchmark?)");
+                        report::record_missing_baseline();
+                        None
+                    }
+                });
+        report::record_report(BenchReport {
+            id: id.to_owned(),
+            summary,
+            comparison,
+        });
         self
     }
 }
@@ -85,16 +203,16 @@ impl Bencher {
     }
 }
 
-fn format_duration(d: Duration) -> String {
-    let nanos = d.as_nanos();
-    if nanos < 1_000 {
-        format!("{nanos} ns")
-    } else if nanos < 1_000_000 {
-        format!("{:.2} µs", nanos as f64 / 1e3)
-    } else if nanos < 1_000_000_000 {
-        format!("{:.2} ms", nanos as f64 / 1e6)
+/// Formats a nanosecond quantity with a magnitude-appropriate unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
     } else {
-        format!("{:.2} s", nanos as f64 / 1e9)
+        format!("{:.2} s", ns / 1e9)
     }
 }
 
@@ -117,12 +235,17 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the `main` function running the listed groups.
+/// Declares the `main` function: parses the CLI, runs the listed groups,
+/// and exits nonzero when [`final_summary`] reports a regression.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_env();
             $($group();)+
+            if !$crate::final_summary() {
+                ::std::process::exit(1);
+            }
         }
     };
 }
@@ -144,6 +267,32 @@ mod tests {
         assert_eq!(calls, 4);
     }
 
+    #[test]
+    fn warmup_passes_are_configurable() {
+        let mut c = Criterion::default().sample_size(2).warm_up_passes(3);
+        let mut calls = 0u32;
+        c.bench_function("smoke/warmup", |b| {
+            calls += 1;
+            b.iter(|| black_box(0))
+        });
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn reports_carry_the_summary_statistics() {
+        let mut c = Criterion::default().sample_size(20);
+        c.bench_function("registry/probe", |b| b.iter(|| black_box(17u64.pow(2))));
+        let reports = take_reports();
+        let probe = reports
+            .iter()
+            .find(|r| r.id == "registry/probe")
+            .expect("report recorded");
+        assert_eq!(probe.summary.sample_size, 20);
+        assert!(probe.summary.ci_lower_ns <= probe.summary.mean_ns);
+        assert!(probe.summary.mean_ns <= probe.summary.ci_upper_ns);
+        assert!(probe.comparison.is_none());
+    }
+
     criterion_group! {
         name = long_form_group;
         config = Criterion::default().sample_size(2);
@@ -163,9 +312,9 @@ mod tests {
 
     #[test]
     fn durations_format_by_magnitude() {
-        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
-        assert_eq!(format_duration(Duration::from_micros(5)), "5.00 µs");
-        assert_eq!(format_duration(Duration::from_millis(5)), "5.00 ms");
-        assert_eq!(format_duration(Duration::from_secs(5)), "5.00 s");
+        assert_eq!(format_ns(5.0), "5 ns");
+        assert_eq!(format_ns(5_000.0), "5.00 µs");
+        assert_eq!(format_ns(5_000_000.0), "5.00 ms");
+        assert_eq!(format_ns(5_000_000_000.0), "5.00 s");
     }
 }

@@ -1,0 +1,498 @@
+//! Baseline persistence, regression comparison, and the process-wide run
+//! registry.
+//!
+//! Baselines are one JSON document per benchmark id, grouped by baseline
+//! name. Recorded baselines live under `<target>/bench-baselines/<name>/`;
+//! when a name is not found there, the **committed** set under
+//! `benches/baselines/<name>/` (relative to the bench working directory,
+//! i.e. the crate root) is consulted — that is how CI compares against
+//! checked-in reference numbers without a prior recording step.
+
+use crate::cli;
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+impl Serialize for Summary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("mean_ns".into(), Value::Float(self.mean_ns)),
+            ("ci_lower_ns".into(), Value::Float(self.ci_lower_ns)),
+            ("ci_upper_ns".into(), Value::Float(self.ci_upper_ns)),
+            ("median_ns".into(), Value::Float(self.median_ns)),
+            ("mad_ns".into(), Value::Float(self.mad_ns)),
+            ("min_ns".into(), Value::Float(self.min_ns)),
+            ("max_ns".into(), Value::Float(self.max_ns)),
+            ("sample_size".into(), self.sample_size.to_value()),
+            ("warmup_passes".into(), self.warmup_passes.to_value()),
+            ("mild_outliers".into(), self.mild_outliers.to_value()),
+            ("severe_outliers".into(), self.severe_outliers.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Summary {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(Summary {
+            mean_ns: f64::from_value(value.field("mean_ns")?)?,
+            ci_lower_ns: f64::from_value(value.field("ci_lower_ns")?)?,
+            ci_upper_ns: f64::from_value(value.field("ci_upper_ns")?)?,
+            median_ns: f64::from_value(value.field("median_ns")?)?,
+            mad_ns: f64::from_value(value.field("mad_ns")?)?,
+            min_ns: f64::from_value(value.field("min_ns")?)?,
+            max_ns: f64::from_value(value.field("max_ns")?)?,
+            sample_size: usize::from_value(value.field("sample_size")?)?,
+            warmup_passes: usize::from_value(value.field("warmup_passes")?)?,
+            mild_outliers: usize::from_value(value.field("mild_outliers")?)?,
+            severe_outliers: usize::from_value(value.field("severe_outliers")?)?,
+        })
+    }
+}
+
+/// One persisted baseline measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Format version, bumped on breaking changes.
+    pub schema: u32,
+    /// The benchmark id the measurement belongs to.
+    pub id: String,
+    /// The measurement itself.
+    pub summary: Summary,
+}
+
+/// Current baseline schema version.
+pub const BASELINE_SCHEMA: u32 = 1;
+
+impl Serialize for Baseline {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".into(), self.schema.to_value()),
+            ("id".into(), self.id.to_value()),
+            ("summary".into(), self.summary.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Baseline {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(Baseline {
+            schema: u32::from_value(value.field("schema")?)?,
+            id: String::from_value(value.field("id")?)?,
+            summary: Summary::from_value(value.field("summary")?)?,
+        })
+    }
+}
+
+/// Verdict of one current-vs-baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Mean grew beyond the effective threshold.
+    Regression,
+    /// Mean shrank beyond the effective threshold.
+    Improvement,
+    /// Within noise.
+    Unchanged,
+}
+
+impl Verdict {
+    /// Stable string form used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Regression => "regression",
+            Verdict::Improvement => "improvement",
+            Verdict::Unchanged => "unchanged",
+        }
+    }
+}
+
+/// Outcome of comparing a fresh measurement against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Name of the baseline compared against.
+    pub baseline: String,
+    /// The baseline's mean, nanoseconds.
+    pub baseline_mean_ns: f64,
+    /// `current mean / baseline mean`.
+    pub ratio: f64,
+    /// The noise-aware threshold actually applied (fraction).
+    pub effective_threshold: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl Serialize for Comparison {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("baseline".into(), self.baseline.to_value()),
+            (
+                "baseline_mean_ns".into(),
+                Value::Float(self.baseline_mean_ns),
+            ),
+            ("ratio".into(), Value::Float(self.ratio)),
+            (
+                "effective_threshold".into(),
+                Value::Float(self.effective_threshold),
+            ),
+            ("verdict".into(), self.verdict.as_str().to_value()),
+        ])
+    }
+}
+
+/// Compares a fresh `summary` against `baseline` under the configured
+/// `noise_threshold`.
+///
+/// The threshold is *noise-aware*: the configured allowance is widened by
+/// **both** measurements' relative 95% CI half-widths (the two runs carry
+/// independent measurement uncertainty on top of any real drift), so noisy
+/// benchmarks need a proportionally larger mean shift before they count as
+/// regressed. A change is a regression when `ratio > 1 + threshold` and an
+/// improvement when `ratio < 1 / (1 + threshold)`.
+pub fn compare(
+    name: &str,
+    summary: &Summary,
+    baseline: &Baseline,
+    noise_threshold: f64,
+) -> Comparison {
+    let base = &baseline.summary;
+    let effective_threshold =
+        noise_threshold + summary.relative_ci_half_width() + base.relative_ci_half_width();
+    let ratio = if base.mean_ns > 0.0 {
+        summary.mean_ns / base.mean_ns
+    } else {
+        1.0
+    };
+    let verdict = if ratio > 1.0 + effective_threshold {
+        Verdict::Regression
+    } else if ratio < 1.0 / (1.0 + effective_threshold) {
+        Verdict::Improvement
+    } else {
+        Verdict::Unchanged
+    };
+    Comparison {
+        baseline: name.to_owned(),
+        baseline_mean_ns: base.mean_ns,
+        ratio,
+        effective_threshold,
+        verdict,
+    }
+}
+
+/// One benchmark's record in the run registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark id.
+    pub id: String,
+    /// Measured statistics.
+    pub summary: Summary,
+    /// Comparison outcome, when running in `--baseline` mode and the
+    /// baseline had this benchmark.
+    pub comparison: Option<Comparison>,
+}
+
+impl Serialize for BenchReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), self.id.to_value()),
+            ("summary".into(), self.summary.to_value()),
+            ("comparison".into(), self.comparison.to_value()),
+        ])
+    }
+}
+
+struct RunState {
+    reports: Vec<BenchReport>,
+    regressions: Vec<String>,
+    comparisons_done: usize,
+    baselines_missing: usize,
+}
+
+static STATE: Mutex<RunState> = Mutex::new(RunState {
+    reports: Vec::new(),
+    regressions: Vec::new(),
+    comparisons_done: 0,
+    baselines_missing: 0,
+});
+
+pub(crate) fn record_report(report: BenchReport) {
+    let mut state = STATE.lock().unwrap();
+    if let Some(comparison) = &report.comparison {
+        state.comparisons_done += 1;
+        if comparison.verdict == Verdict::Regression {
+            state.regressions.push(format!(
+                "{}: {:.1}% over baseline '{}' (threshold {:.1}%)",
+                report.id,
+                (comparison.ratio - 1.0) * 100.0,
+                comparison.baseline,
+                comparison.effective_threshold * 100.0
+            ));
+        }
+    }
+    state.reports.push(report);
+}
+
+pub(crate) fn record_missing_baseline() {
+    STATE.lock().unwrap().baselines_missing += 1;
+}
+
+/// Drains and returns every report recorded so far in this process —
+/// the bench harness exports these as `BENCH_<name>.json`.
+pub fn take_reports() -> Vec<BenchReport> {
+    std::mem::take(&mut STATE.lock().unwrap().reports)
+}
+
+/// Prints the end-of-run verdict and returns `false` when the process
+/// should exit nonzero: some benchmark regressed, or `--baseline` was
+/// requested but *no* benchmark had a baseline to compare against (a
+/// typo'd baseline name must not pass silently).
+pub fn final_summary() -> bool {
+    let state = STATE.lock().unwrap();
+    let compare_mode = cli::config().compare_baseline.clone();
+    if !state.regressions.is_empty() {
+        eprintln!("\nperformance regressions detected:");
+        for line in &state.regressions {
+            eprintln!("  {line}");
+        }
+        return false;
+    }
+    if let Some(name) = compare_mode {
+        // Zero comparisons in compare mode can never be a pass: either the
+        // baseline name is wrong for every benchmark, or a FILTER excluded
+        // them all — both would otherwise let a typo'd gate exit 0.
+        if state.comparisons_done == 0 {
+            if state.baselines_missing > 0 {
+                eprintln!(
+                    "\nerror: baseline '{name}' matched none of the {} benchmarks \
+                     (looked in {} and benches/baselines/{name}/)",
+                    state.baselines_missing,
+                    baselines_root().join(&name).display(),
+                );
+            } else {
+                eprintln!(
+                    "\nerror: --baseline '{name}' was requested but no benchmark ran \
+                     a comparison (did the FILTER exclude everything?)"
+                );
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// The directory machine-readable run exports go to:
+/// `<target>/bench-reports/`.
+pub fn reports_root() -> PathBuf {
+    target_dir().join("bench-reports")
+}
+
+/// The directory freshly recorded baselines go to:
+/// `$CRITERION_BASELINE_DIR`, or `<target>/bench-baselines/`.
+pub fn baselines_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CRITERION_BASELINE_DIR") {
+        let path = PathBuf::from(dir);
+        // Bench binaries run with the bench crate root — not the user's
+        // shell — as working directory, so a relative override would land
+        // somewhere surprising. Absolutize so the printed save/load paths
+        // are honest about where files actually go.
+        return if path.is_absolute() {
+            path
+        } else {
+            std::env::current_dir()
+                .map(|cwd| cwd.join(&path))
+                .unwrap_or(path)
+        };
+    }
+    target_dir().join("bench-baselines")
+}
+
+/// Locates the Cargo target directory: `$CARGO_TARGET_DIR`, else the
+/// nearest ancestor of the running executable named `target` (bench
+/// binaries live in `target/<profile>/deps/`), else `./target`.
+fn target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                return ancestor.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from("target")
+}
+
+/// File name a benchmark id is stored under (path separators and other
+/// non-portable characters become `_`; the exact id is kept inside the
+/// document and checked on load).
+fn baseline_file_name(id: &str) -> String {
+    let sanitized: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{sanitized}.json")
+}
+
+/// Writes `summary` as baseline `name` for benchmark `id` under `root`
+/// (creating directories), returning the file path.
+pub fn save_baseline_in(
+    root: &Path,
+    name: &str,
+    id: &str,
+    summary: &Summary,
+) -> std::io::Result<PathBuf> {
+    let dir = root.join(name);
+    std::fs::create_dir_all(&dir)?;
+    let baseline = Baseline {
+        schema: BASELINE_SCHEMA,
+        id: id.to_owned(),
+        summary: summary.clone(),
+    };
+    let path = dir.join(baseline_file_name(id));
+    let rendered = serde_json::to_string_pretty(&baseline)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(&path, rendered + "\n")?;
+    Ok(path)
+}
+
+/// Saves under [`baselines_root`].
+pub fn save_baseline(name: &str, id: &str, summary: &Summary) -> std::io::Result<PathBuf> {
+    save_baseline_in(&baselines_root(), name, id, summary)
+}
+
+/// Loads baseline `name` for benchmark `id` from an explicit list of
+/// roots, first hit wins. Unreadable/mismatching documents are skipped
+/// with a warning rather than trusted.
+pub fn load_baseline_from(roots: &[PathBuf], name: &str, id: &str) -> Option<Baseline> {
+    for root in roots {
+        let path = root.join(name).join(baseline_file_name(id));
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        match serde_json::from_str::<Baseline>(&raw) {
+            Ok(baseline) if baseline.schema == BASELINE_SCHEMA && baseline.id == id => {
+                return Some(baseline);
+            }
+            Ok(baseline) => {
+                eprintln!(
+                    "warning: ignoring baseline {} (schema {} / id {:?} mismatch)",
+                    path.display(),
+                    baseline.schema,
+                    baseline.id
+                );
+            }
+            Err(e) => {
+                eprintln!("warning: unreadable baseline {}: {e}", path.display());
+            }
+        }
+    }
+    None
+}
+
+/// Loads baseline `name` for `id` from the recorded root, falling back to
+/// the committed `benches/baselines/` set.
+pub fn load_baseline(name: &str, id: &str) -> Option<Baseline> {
+    load_baseline_from(
+        &[baselines_root(), PathBuf::from("benches/baselines")],
+        name,
+        id,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64, half_width: f64) -> Summary {
+        Summary {
+            mean_ns: mean,
+            ci_lower_ns: mean - half_width,
+            ci_upper_ns: mean + half_width,
+            median_ns: mean,
+            mad_ns: half_width / 2.0,
+            min_ns: mean - 2.0 * half_width,
+            max_ns: mean + 2.0 * half_width,
+            sample_size: 50,
+            warmup_passes: 1,
+            mild_outliers: 0,
+            severe_outliers: 0,
+        }
+    }
+
+    fn baseline(mean: f64, half_width: f64) -> Baseline {
+        Baseline {
+            schema: BASELINE_SCHEMA,
+            id: "test/id".into(),
+            summary: summary(mean, half_width),
+        }
+    }
+
+    #[test]
+    fn tight_measurements_use_the_configured_threshold() {
+        let base = baseline(100.0, 0.5);
+        // +3% under a 5% threshold: unchanged.
+        let same = compare("b", &summary(103.0, 0.5), &base, 0.05);
+        assert_eq!(same.verdict, Verdict::Unchanged);
+        // +10% under a 5% threshold: regression.
+        let worse = compare("b", &summary(110.0, 0.5), &base, 0.05);
+        assert_eq!(worse.verdict, Verdict::Regression);
+        assert!((worse.ratio - 1.1).abs() < 1e-9);
+        // 2x faster: improvement.
+        let better = compare("b", &summary(50.0, 0.5), &base, 0.05);
+        assert_eq!(better.verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn noisy_measurements_widen_the_threshold() {
+        // The baseline's CI half-width is 20% of its mean, so a +10% shift
+        // is *not* a regression even under a 5% configured threshold.
+        let base = baseline(100.0, 20.0);
+        let comparison = compare("b", &summary(110.0, 0.5), &base, 0.05);
+        assert_eq!(comparison.verdict, Verdict::Unchanged);
+        assert!(comparison.effective_threshold >= 0.2);
+        // A 2x slowdown still regresses.
+        let doubled = compare("b", &summary(200.0, 0.5), &base, 0.05);
+        assert_eq!(doubled.verdict, Verdict::Regression);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json_files() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-baseline-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = summary(1234.5, 10.0);
+        let path = save_baseline_in(&dir, "unit", "scale/LCMR 1k", &s).unwrap();
+        assert!(path.ends_with("unit/scale_LCMR_1k.json"));
+        let loaded =
+            load_baseline_from(std::slice::from_ref(&dir), "unit", "scale/LCMR 1k").unwrap();
+        assert_eq!(loaded.summary, s);
+        assert_eq!(loaded.id, "scale/LCMR 1k");
+        // A different id (even one sanitizing to another file) is absent.
+        assert!(load_baseline_from(std::slice::from_ref(&dir), "unit", "scale/other").is_none());
+        // A wrong baseline name is absent.
+        assert!(
+            load_baseline_from(std::slice::from_ref(&dir), "nightly", "scale/LCMR 1k").is_none()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatching_ids_are_not_trusted() {
+        let dir = std::env::temp_dir().join(format!(
+            "criterion-baseline-mismatch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // "a b" and "a_b" sanitize to the same file; the id check must keep
+        // them apart instead of silently comparing against the wrong one.
+        save_baseline_in(&dir, "unit", "a b", &summary(1.0, 0.1)).unwrap();
+        assert!(load_baseline_from(std::slice::from_ref(&dir), "unit", "a_b").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

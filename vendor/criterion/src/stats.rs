@@ -1,0 +1,244 @@
+//! Sample statistics: mean with a bootstrap confidence interval, median,
+//! MAD, and median/MAD outlier classification.
+//!
+//! Everything is deterministic: the bootstrap resampler is seeded from the
+//! benchmark id, so rerunning a benchmark on the same samples reports the
+//! same interval.
+
+/// Number of bootstrap resamples behind the confidence interval.
+const BOOTSTRAP_RESAMPLES: usize = 1_000;
+
+/// Consistency constant making the MAD comparable to a standard deviation
+/// under normality.
+const MAD_SCALE: f64 = 1.4826;
+
+/// Summary statistics of one benchmark's per-iteration samples (all times
+/// in nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Lower end of the 95% bootstrap confidence interval of the mean.
+    pub ci_lower_ns: f64,
+    /// Upper end of the 95% bootstrap confidence interval of the mean.
+    pub ci_upper_ns: f64,
+    /// Sample median.
+    pub median_ns: f64,
+    /// Median absolute deviation (unscaled).
+    pub mad_ns: f64,
+    /// Smallest sample.
+    pub min_ns: f64,
+    /// Largest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub sample_size: usize,
+    /// Number of untimed warmup passes that preceded them.
+    pub warmup_passes: usize,
+    /// Samples deviating from the median by more than 3 scaled MADs.
+    pub mild_outliers: usize,
+    /// Samples deviating from the median by more than 5 scaled MADs
+    /// (not double-counted as mild).
+    pub severe_outliers: usize,
+}
+
+impl Summary {
+    /// Computes the summary of `samples` (nanoseconds per iteration).
+    /// `seed` makes the bootstrap deterministic — callers derive it from
+    /// the benchmark id. Panics if `samples` is empty.
+    pub fn compute(samples: &[f64], warmup_passes: usize, seed: u64) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = median_of_sorted(&sorted);
+        let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+        deviations.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
+        let mad = median_of_sorted(&deviations);
+
+        // Median/MAD outlier classification. A zero MAD (over half the
+        // samples identical) would flag every nonzero deviation, so the
+        // classification is skipped in that case.
+        let scaled_mad = MAD_SCALE * mad;
+        let (mut mild, mut severe) = (0usize, 0usize);
+        if scaled_mad > 0.0 {
+            for &x in samples {
+                let deviation = (x - median).abs();
+                if deviation > 5.0 * scaled_mad {
+                    severe += 1;
+                } else if deviation > 3.0 * scaled_mad {
+                    mild += 1;
+                }
+            }
+        }
+
+        let (ci_lower, ci_upper) = bootstrap_mean_ci(samples, seed);
+        Summary {
+            mean_ns: mean,
+            ci_lower_ns: ci_lower,
+            ci_upper_ns: ci_upper,
+            median_ns: median,
+            mad_ns: mad,
+            min_ns: min,
+            max_ns: max,
+            sample_size: n,
+            warmup_passes,
+            mild_outliers: mild,
+            severe_outliers: severe,
+        }
+    }
+
+    /// Relative half-width of the confidence interval (`0.0` for a
+    /// degenerate mean) — the measurement's own noise estimate, used to
+    /// widen comparison thresholds.
+    pub fn relative_ci_half_width(&self) -> f64 {
+        if self.mean_ns > 0.0 {
+            ((self.ci_upper_ns - self.ci_lower_ns) / (2.0 * self.mean_ns)).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Percentile-method bootstrap of the sample mean: resample with
+/// replacement [`BOOTSTRAP_RESAMPLES`] times and take the 2.5th/97.5th
+/// percentiles of the resampled means.
+fn bootstrap_mean_ci(samples: &[f64], seed: u64) -> (f64, f64) {
+    let n = samples.len();
+    if n == 1 {
+        return (samples[0], samples[0]);
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += samples[(rng.next() % n as u64) as usize];
+        }
+        means.push(total / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+    let lower = means[(BOOTSTRAP_RESAMPLES as f64 * 0.025) as usize];
+    let upper = means[((BOOTSTRAP_RESAMPLES as f64 * 0.975) as usize).min(BOOTSTRAP_RESAMPLES - 1)];
+    (lower, upper)
+}
+
+/// Minimal deterministic RNG for the bootstrap (the vendored `rand` crate
+/// is not a dependency here to keep the bench harness self-contained).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Deterministic 64-bit hash of a benchmark id (FNV-1a), the bootstrap
+/// seed.
+pub fn id_seed(id: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_degenerate_statistics() {
+        let summary = Summary::compute(&[5.0; 40], 3, 1);
+        assert_eq!(summary.mean_ns, 5.0);
+        assert_eq!(summary.median_ns, 5.0);
+        assert_eq!(summary.mad_ns, 0.0);
+        assert_eq!((summary.ci_lower_ns, summary.ci_upper_ns), (5.0, 5.0));
+        assert_eq!(summary.mild_outliers + summary.severe_outliers, 0);
+        assert_eq!(summary.sample_size, 40);
+        assert_eq!(summary.warmup_passes, 3);
+        assert_eq!(summary.relative_ci_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_brackets_the_mean_and_stays_inside_the_range() {
+        // 100 samples uniformly 90..110: the CI must bracket the mean and
+        // stay well inside the sample range.
+        let samples: Vec<f64> = (0..100).map(|i| 90.0 + (i % 21) as f64).collect();
+        let summary = Summary::compute(&samples, 0, 42);
+        assert!(summary.ci_lower_ns <= summary.mean_ns);
+        assert!(summary.mean_ns <= summary.ci_upper_ns);
+        assert!(summary.ci_lower_ns > summary.min_ns);
+        assert!(summary.ci_upper_ns < summary.max_ns);
+        assert!(summary.relative_ci_half_width() < 0.05);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let samples: Vec<f64> = (0..50).map(|i| (i * 7 % 13) as f64 + 100.0).collect();
+        let a = Summary::compute(&samples, 0, 7);
+        let b = Summary::compute(&samples, 0, 7);
+        let c = Summary::compute(&samples, 0, 8);
+        assert_eq!(a, b);
+        assert!(
+            (a.ci_lower_ns, a.ci_upper_ns) != (c.ci_lower_ns, c.ci_upper_ns),
+            "different seeds should resample differently"
+        );
+    }
+
+    #[test]
+    fn outliers_are_classified_by_distance_from_the_median() {
+        // 38 well-behaved samples (median 101, MAD 1), one mild excursion
+        // (deviation 5, between 3 and 5 scaled MADs) and one severe spike.
+        let mut samples: Vec<f64> = (0..38).map(|i| 100.0 + (i % 3) as f64).collect();
+        samples.push(106.0);
+        samples.push(200.0);
+        let summary = Summary::compute(&samples, 0, 3);
+        assert_eq!(summary.median_ns, 101.0);
+        assert_eq!(summary.mad_ns, 1.0);
+        assert_eq!(summary.severe_outliers, 1, "{summary:?}");
+        assert_eq!(summary.mild_outliers, 1, "{summary:?}");
+    }
+
+    #[test]
+    fn even_sample_counts_average_the_middle_pair() {
+        let summary = Summary::compute(&[1.0, 2.0, 3.0, 4.0], 0, 1);
+        assert_eq!(summary.median_ns, 2.5);
+        assert_eq!(summary.min_ns, 1.0);
+        assert_eq!(summary.max_ns, 4.0);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_interval() {
+        let summary = Summary::compute(&[7.5], 1, 9);
+        assert_eq!((summary.ci_lower_ns, summary.ci_upper_ns), (7.5, 7.5));
+        assert_eq!(summary.median_ns, 7.5);
+    }
+
+    #[test]
+    fn id_seed_distinguishes_ids() {
+        assert_ne!(id_seed("a/b"), id_seed("a/c"));
+        assert_eq!(id_seed("scale/x"), id_seed("scale/x"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Built-in generators: integer ranges, tuples, vectors.
+//!
+//! Numeric generators shrink toward the **low end of their range** (so
+//! domains whose natural minimum is 1 should be drawn from `1..=hi`), tuple
+//! generators shrink one component at a time, and vector generators shrink
+//! the length first — halving before single removals — and then the
+//! elements.
+
+use crate::Gen;
+use rand::prelude::*;
+use std::ops::RangeInclusive;
+
+/// Uniform integer range generator; see [`u64_in`] / [`usize_in`].
+#[derive(Debug, Clone)]
+pub struct IntRange<T> {
+    lo: T,
+    hi: T,
+}
+
+macro_rules! int_range_gen {
+    ($t:ty, $ctor:ident) => {
+        /// Uniform values of the inclusive range, shrinking toward its low
+        /// end.
+        pub fn $ctor(range: RangeInclusive<$t>) -> IntRange<$t> {
+            assert!(
+                range.start() <= range.end(),
+                concat!(stringify!($ctor), ": empty range")
+            );
+            IntRange {
+                lo: *range.start(),
+                hi: *range.end(),
+            }
+        }
+
+        impl Gen for IntRange<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.lo..=self.hi)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v <= self.lo {
+                    return Vec::new();
+                }
+                // Jump to the minimum first, then halve the distance, then
+                // creep: the usual "aggressive first" ladder.
+                let mut out = vec![self.lo];
+                let half = self.lo + (v - self.lo) / 2;
+                if half > self.lo && half < v {
+                    out.push(half);
+                }
+                if v - 1 > half {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    };
+}
+
+int_range_gen!(u64, u64_in);
+int_range_gen!(usize, usize_in);
+
+macro_rules! tuple_gen {
+    ($(($($g:ident . $idx:tt),+))+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_gen! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Vector generator; see [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecOf<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Vectors whose length is drawn from `len` and whose elements come from
+/// `elem`. Shrinking first halves the vector (keeping either half), then
+/// removes single elements, then shrinks individual elements in place — the
+/// "halve task counts, then shrink values" order that minimizes scheduling
+/// counterexamples fastest.
+pub fn vec_of<G: Gen>(elem: G, len: RangeInclusive<usize>) -> VecOf<G> {
+    assert!(len.start() <= len.end(), "vec_of: empty length range");
+    VecOf {
+        elem,
+        min_len: *len.start(),
+        max_len: *len.end(),
+    }
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = Vec::new();
+        let len = value.len();
+        if len > self.min_len {
+            // Halves (respecting the minimum length), most aggressive first.
+            let keep = (len / 2).max(self.min_len);
+            if keep < len {
+                out.push(value[..keep].to_vec());
+                out.push(value[len - keep..].to_vec());
+            }
+            // Single removals; capped so shrinking a huge vector does not
+            // enumerate thousands of candidates per round.
+            for i in 0..len.min(16) {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks, first candidate per position.
+        for i in 0..len.min(32) {
+            for candidate in self.elem.shrink(&value[i]).into_iter().take(2) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn int_shrink_candidates_are_strictly_smaller() {
+        let gen = u64_in(3..=100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = gen.generate(&mut rng);
+            assert!((3..=100).contains(&v));
+            for c in gen.shrink(&v) {
+                assert!(c < v && c >= 3, "shrink {v} -> {c}");
+            }
+        }
+        assert!(gen.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_shortens() {
+        let gen = vec_of(u64_in(0..=5), 2..=10);
+        let v = vec![5, 4, 3, 2, 1];
+        for c in gen.shrink(&v) {
+            assert!(c.len() >= 2);
+            assert!(c.len() < v.len() || c.iter().sum::<u64>() < v.iter().sum::<u64>());
+        }
+        // At the minimum length only element shrinks remain.
+        assert!(gen.shrink(&vec![0, 0]).is_empty());
+    }
+
+    #[test]
+    fn tuples_generate_within_ranges() {
+        let gen = (u64_in(0..=4), usize_in(1..=2), u64_in(9..=9));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (a, b, c) = gen.generate(&mut rng);
+            assert!(a <= 4 && (1..=2).contains(&b) && c == 9);
+        }
+        assert!(gen.shrink(&(0, 1, 9)).is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! Vendored property-testing shim in the spirit of `proptest`.
+//!
+//! The build image has no reachable crates registry, so this crate provides
+//! the property-testing surface the workspace needs: seeded generators (the
+//! [`Gen`] trait plus integer-range, tuple and vector combinators), a
+//! deterministic check runner with **greedy failure shrinking**, and the
+//! [`property!`] / [`prop_assert!`] macros. Failures are minimized before
+//! they are reported: the runner repeatedly asks the generator for smaller
+//! candidates ([`Gen::shrink`]) and keeps the smallest value that still
+//! fails, so a 200-task counterexample typically collapses to a handful of
+//! near-trivial values.
+//!
+//! ```
+//! use microcheck::{gens, Config};
+//!
+//! // Every value drawn from the range satisfies the property: check passes.
+//! let gen = gens::u64_in(0..=100);
+//! microcheck::check(&Config::default(), &gen, |&x| {
+//!     microcheck::prop_assert!(x <= 100);
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! // A failing property is shrunk to the smallest failing value.
+//! let failure = microcheck::check(&Config::default(), &gen, |&x| {
+//!     microcheck::prop_assert!(x < 10, "x = {x} is too large");
+//!     Ok(())
+//! })
+//! .unwrap_err();
+//! assert_eq!(failure.minimal, 10);
+//! ```
+//!
+//! Properties either return `Err(message)` (what [`prop_assert!`] does) or
+//! panic (a plain `assert!` also works — panics are caught and treated as
+//! failures, though the messages libtest prints during shrinking are
+//! noisier).
+
+use rand::prelude::*;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod gens;
+
+/// Outcome of one property evaluation: `Ok(())` or a failure message.
+pub type PropResult = Result<(), String>;
+
+/// How many cases to run and how to seed them.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to draw (default 256).
+    pub cases: usize,
+    /// Seed of the case stream (default `0x5eed`). Every run with the same
+    /// seed draws the same cases, so failures reproduce exactly.
+    pub seed: u64,
+    /// Upper bound on shrink candidates evaluated while minimizing a
+    /// failure (default 10 000).
+    pub max_shrink_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0x5eed,
+            max_shrink_steps: 10_000,
+        }
+    }
+}
+
+impl Config {
+    /// The default configuration with `MICROCHECK_CASES` and
+    /// `MICROCHECK_SEED` environment overrides applied — what the
+    /// [`property!`] macro uses, so a failing seed can be replayed without
+    /// editing the test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparseable override: a replay with a mistyped seed
+    /// (e.g. hex) must not silently run the default seed and "pass".
+    pub fn from_env() -> Self {
+        let mut config = Config::default();
+        if let Some(cases) = env_override("MICROCHECK_CASES") {
+            assert!(
+                cases >= 1,
+                "MICROCHECK_CASES must be at least 1 (0 would make every property pass vacuously)"
+            );
+            config.cases = cases;
+        }
+        if let Some(seed) = env_override("MICROCHECK_SEED") {
+            config.seed = seed;
+        }
+        config
+    }
+}
+
+/// Reads a numeric environment override, panicking (loudly, instead of
+/// silently falling back to the default) when the value does not parse.
+fn env_override<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(value) => Some(value),
+        Err(_) => panic!("invalid {name} `{raw}` (expected a decimal integer)"),
+    }
+}
+
+/// A seeded generator of values of one type, with a shrinking relation.
+///
+/// `shrink` proposes *strictly simpler* candidates for a failing value —
+/// each candidate must be closer to the generator's notion of minimal (the
+/// runner does not detect shrink cycles, it only caps the number of
+/// candidates evaluated). An empty vector means the value is already
+/// minimal.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes simpler variants of `value`, most aggressive first.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// A minimized property failure.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// The originally drawn failing value.
+    pub original: T,
+    /// The smallest failing value the shrinker reached.
+    pub minimal: T,
+    /// Failure message of the minimal value.
+    pub message: String,
+    /// Seed of the run (replay with `MICROCHECK_SEED=<seed>`).
+    pub seed: u64,
+    /// Zero-based index of the failing case.
+    pub case: usize,
+    /// Number of accepted shrink steps (`original` → `minimal`).
+    pub shrink_steps: usize,
+    /// Number of shrink candidates evaluated in total.
+    pub candidates_tried: usize,
+}
+
+impl<T: Debug> Failure<T> {
+    /// Multi-line human-readable report, used by [`property!`] as the panic
+    /// message.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "property `{name}` failed (case {case}, seed {seed}):\n  \
+             minimal:  {minimal:?}\n  \
+             original: {original:?}\n  \
+             shrink:   {steps} steps ({tried} candidates tried)\n  \
+             message:  {message}",
+            case = self.case,
+            seed = self.seed,
+            minimal = self.minimal,
+            original = self.original,
+            steps = self.shrink_steps,
+            tried = self.candidates_tried,
+            message = self.message,
+        )
+    }
+}
+
+/// Evaluates the property once, converting panics into failure messages so
+/// `assert!` works inside properties.
+fn eval<T>(prop: &impl Fn(&T) -> PropResult, value: &T) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(result) => result,
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "property panicked (non-string payload)".into())),
+    }
+}
+
+/// Runs `prop` on `config.cases` values drawn from `gen`; on the first
+/// failure, shrinks it to a minimal counterexample and returns it.
+///
+/// This is the panic-free entry point — tests that assert *on the failure
+/// itself* (e.g. that a deliberately broken property shrinks to a known
+/// minimal counterexample) call this directly; ordinary property tests use
+/// the [`property!`] macro, which panics with [`Failure::report`].
+pub fn check<G: Gen>(
+    config: &Config,
+    gen: &G,
+    prop: impl Fn(&G::Value) -> PropResult,
+) -> Result<(), Failure<G::Value>> {
+    assert!(
+        config.cases >= 1,
+        "a property checked over zero cases would pass vacuously"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for case in 0..config.cases {
+        let original = gen.generate(&mut rng);
+        let Err(first_message) = eval(&prop, &original) else {
+            continue;
+        };
+
+        // Greedy shrink: take the first simpler candidate that still fails
+        // and restart from it, until no candidate fails or the step budget
+        // runs out.
+        let mut minimal = original.clone();
+        let mut message = first_message;
+        let mut shrink_steps = 0;
+        let mut candidates_tried = 0;
+        'shrinking: loop {
+            for candidate in gen.shrink(&minimal) {
+                if candidates_tried >= config.max_shrink_steps {
+                    break 'shrinking;
+                }
+                candidates_tried += 1;
+                if let Err(m) = eval(&prop, &candidate) {
+                    minimal = candidate;
+                    message = m;
+                    shrink_steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+
+        return Err(Failure {
+            original,
+            minimal,
+            message,
+            seed: config.seed,
+            case,
+            shrink_steps,
+            candidates_tried,
+        });
+    }
+    Ok(())
+}
+
+/// Declares a `#[test]` property in `proptest` style:
+///
+/// ```
+/// microcheck::property! {
+///     /// Addition over the drawn domain never overflows.
+///     fn addition_is_small((a, b) in (microcheck::gens::u64_in(0..=10),
+///                                     microcheck::gens::u64_in(0..=10))) {
+///         microcheck::prop_assert!(a + b <= 20, "a={a} b={b}");
+///     }
+/// }
+/// # fn main() {}
+/// ```
+///
+/// The body runs once per drawn value; use [`prop_assert!`] /
+/// [`prop_assert_eq!`] (or plain `assert!`) to reject a value. On failure
+/// the test panics with the minimized counterexample and the seed to replay
+/// it.
+///
+/// A property may override the default case count with a trailing
+/// `cases = N` (the `MICROCHECK_CASES` environment variable still wins):
+///
+/// ```ignore
+/// microcheck::property! {
+///     fn thorough(x in microcheck::gens::u64_in(0..=9), cases = 20_000) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! property {
+    ($($(#[$attr:meta])* fn $name:ident($pat:pat in $gen:expr $(, cases = $cases:expr)? $(,)?) $body:block)+) => {$(
+        $(#[$attr])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut config = $crate::Config::from_env();
+            $(
+                if ::std::env::var("MICROCHECK_CASES").is_err() {
+                    config.cases = $cases;
+                }
+            )?
+            let gen = $gen;
+            let outcome = $crate::check(&config, &gen, |value| {
+                let $pat = ::std::clone::Clone::clone(value);
+                $body
+                ::std::result::Result::Ok(())
+            });
+            if let ::std::result::Result::Err(failure) = outcome {
+                ::std::panic!("{}", failure.report(stringify!($name)));
+            }
+        }
+    )+};
+}
+
+/// Rejects the current property case unless `cond` holds. Only valid inside
+/// a block whose return type is [`PropResult`] (the [`property!`] body or a
+/// closure handed to [`check`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left:  {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gens;
+
+    #[test]
+    fn passing_property_checks_every_case() {
+        let mut seen = std::cell::Cell::new(0usize);
+        let gen = gens::u64_in(5..=9);
+        check(&Config::default(), &gen, |&x| {
+            seen.set(seen.get() + 1);
+            prop_assert!((5..=9).contains(&x));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(*seen.get_mut(), Config::default().cases);
+    }
+
+    #[test]
+    fn failing_int_property_shrinks_to_the_boundary() {
+        // `x < 10` over 0..=1000: the smallest failing value is exactly 10.
+        let gen = gens::u64_in(0..=1000);
+        let failure = check(&Config::default(), &gen, |&x| {
+            prop_assert!(x < 10, "x = {x}");
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(failure.minimal, 10);
+        assert!(failure.original >= 10);
+        assert_eq!(failure.message, "x = 10");
+    }
+
+    #[test]
+    fn shrinking_respects_the_range_low_bound() {
+        // Everything fails, so the minimum is the range low itself.
+        let gen = gens::u64_in(7..=1000);
+        let failure = check(&Config::default(), &gen, |_| Err("always".into())).unwrap_err();
+        assert_eq!(failure.minimal, 7);
+        assert_eq!(failure.case, 0);
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise() {
+        let gen = (gens::u64_in(0..=500), gens::u64_in(0..=500));
+        let failure = check(&Config::default(), &gen, |&(a, b)| {
+            prop_assert!(a + b < 20, "a={a} b={b}");
+            Ok(())
+        })
+        .unwrap_err();
+        let (a, b) = failure.minimal;
+        assert_eq!(a + b, 20, "minimal failing sum sits on the boundary");
+    }
+
+    #[test]
+    fn vectors_shrink_length_and_elements() {
+        let gen = gens::vec_of(gens::u64_in(0..=3), 0..=40);
+        let failure = check(&Config::default(), &gen, |v| {
+            prop_assert!(v.iter().sum::<u64>() < 5);
+            Ok(())
+        })
+        .unwrap_err();
+        let sum: u64 = failure.minimal.iter().sum();
+        assert!(
+            failure.minimal.len() <= 2 && (5..=6).contains(&sum),
+            "minimal = {:?}",
+            failure.minimal
+        );
+    }
+
+    #[test]
+    fn panicking_properties_are_caught_and_shrunk() {
+        let gen = gens::u64_in(0..=100);
+        let failure = check(&Config::default(), &gen, |&x| {
+            assert!(x < 3, "boom at {x}");
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(failure.minimal, 3);
+        assert!(failure.message.contains("boom at 3"), "{}", failure.message);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_failure() {
+        let gen = gens::u64_in(0..=u64::MAX);
+        let run = || {
+            check(&Config::default(), &gen, |&x| {
+                prop_assert!(x % 17 != 3);
+                Ok(())
+            })
+            .unwrap_err()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.original, b.original);
+        assert_eq!(a.minimal, b.minimal);
+        assert_eq!(a.case, b.case);
+    }
+
+    #[test]
+    fn shrink_budget_is_honored() {
+        let config = Config {
+            max_shrink_steps: 1,
+            ..Config::default()
+        };
+        let gen = gens::u64_in(0..=u64::MAX);
+        let failure = check(&config, &gen, |_| Err("always".into())).unwrap_err();
+        assert!(failure.candidates_tried <= 1);
+    }
+
+    property! {
+        /// The macro form itself: drawn values stay in their ranges.
+        fn macro_form_draws_in_range((a, v) in (
+            gens::usize_in(1..=8),
+            gens::vec_of(gens::u64_in(2..=4), 0..=5),
+        )) {
+            prop_assert!((1..=8).contains(&a));
+            prop_assert!(v.len() <= 5);
+            prop_assert!(v.iter().all(|&x| (2..=4).contains(&x)));
+            prop_assert_eq!(a, a);
+        }
+    }
+}
