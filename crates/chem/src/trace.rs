@@ -89,7 +89,17 @@ impl Trace {
 
     /// Converts the trace into an instance whose capacity is `factor · mc`
     /// (the sweep axis of Figs. 9–13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCapacityFactor`] when `factor` is NaN,
+    /// infinite or negative — [`MemSize::scale`] asserts on such factors,
+    /// and a user-supplied factor (e.g. from the `dts run` command line)
+    /// must surface as an error, not a panic.
     pub fn to_instance_scaled(&self, factor: f64) -> Result<Instance> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(CoreError::InvalidCapacityFactor(factor.to_string()));
+        }
         self.to_instance(self.min_capacity().scale(factor))
     }
 
@@ -174,6 +184,27 @@ mod tests {
         assert_eq!(inst.capacity(), MemSize::from_bytes(264_192));
         // Factor 1.0 is exactly feasible.
         assert!(trace.to_instance_scaled(1.0).is_ok());
+    }
+
+    #[test]
+    fn malformed_scale_factors_error_instead_of_panicking() {
+        // Regression: these used to trip the `MemSize::scale` assert.
+        let trace = sample();
+        for factor in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = trace.to_instance_scaled(factor).unwrap_err();
+            match err {
+                CoreError::InvalidCapacityFactor(text) => {
+                    assert_eq!(text, factor.to_string());
+                }
+                other => panic!("expected InvalidCapacityFactor, got {other:?}"),
+            }
+        }
+        // Zero is degenerate but well-defined: capacity 0, so the largest
+        // task no longer fits and instance construction reports it.
+        assert!(matches!(
+            trace.to_instance_scaled(0.0),
+            Err(CoreError::TaskExceedsCapacity { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use dts_chem::suite::{generate_partial_suite, SuiteConfig};
 use dts_chem::{characterize, Kernel, Trace};
 use dts_core::gantt;
 use dts_core::metrics::ScheduleMetrics;
+use dts_core::CoreError;
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
 use std::process::ExitCode;
@@ -65,9 +66,24 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "n_ranks must be an integer"))
         .transpose()?
         .unwrap_or(6);
+    if n_ranks == 0 {
+        return Err("n_ranks must be at least 1".into());
+    }
+    // Small 6-rank topology for quick suites, the paper's full 150-rank
+    // topology beyond that. `generate_partial_suite` silently clamps to
+    // the topology size, so reject a request even the full topology cannot
+    // honor instead of quietly writing fewer files than asked for.
     let mut config = SuiteConfig::small();
     if n_ranks > config.topology.n_processes() {
         config = SuiteConfig::default();
+    }
+    let max_ranks = config.topology.n_processes();
+    if n_ranks > max_ranks {
+        return Err(format!(
+            "{n_ranks} ranks requested, but the largest topology has only {max_ranks} \
+             processes ({} nodes x {} workers)",
+            config.topology.nodes, config.topology.workers_per_node
+        ));
     }
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     let traces = generate_partial_suite(kernel, &config, n_ranks);
@@ -84,6 +100,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             trace.min_capacity()
         );
     }
+    println!(
+        "generated {} of {n_ranks} requested ranks in {dir}",
+        traces.len()
+    );
     Ok(())
 }
 
@@ -116,6 +136,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "factor must be a number"))
         .transpose()?
         .unwrap_or(1.5);
+    // `to_instance_scaled` reports this too, but catching it before the
+    // trace is even loaded gives a faster failure with the same message.
+    if !factor.is_finite() || factor < 0.0 {
+        return Err(CoreError::InvalidCapacityFactor(factor.to_string()).to_string());
+    }
     let heuristic = Heuristic::from_name(heuristic_name)
         .ok_or_else(|| format!("unknown heuristic '{heuristic_name}'"))?;
     let trace = load_trace(path)?;

@@ -1,0 +1,135 @@
+//! End-to-end regression tests for the `dts` binary, driving the real
+//! executable (`CARGO_BIN_EXE_dts`) the way a shell would.
+//!
+//! Pinned bugs:
+//!
+//! * `dts run <trace> <heuristic> <factor>` used to panic via the
+//!   `MemSize::scale` assert on a negative, NaN or infinite factor instead
+//!   of reporting an error;
+//! * `dts generate <kernel> <dir> [n_ranks]` used to silently clamp
+//!   `n_ranks` to the topology size — a request for 500 ranks quietly
+//!   wrote 150 files and exited 0.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn dts(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dts"))
+        .args(args)
+        .output()
+        .expect("the dts binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A scratch directory that cleans up after itself even on panic.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dts-cli-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Generates one HF trace into `dir` and returns the trace file's path.
+fn generate_one_trace(dir: &Path) -> PathBuf {
+    let dir_str = dir.to_str().expect("scratch path is UTF-8");
+    let output = dts(&["generate", "hf", dir_str, "1"]);
+    assert!(
+        output.status.success(),
+        "trace generation failed: {}",
+        stderr(&output)
+    );
+    dir.join("hf-rank000.json")
+}
+
+#[test]
+fn run_rejects_malformed_capacity_factors() {
+    let scratch = ScratchDir::new("run-bad-factor");
+    let trace = generate_one_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    for factor in ["-1", "nan", "inf", "-inf"] {
+        let output = dts(&["run", trace, "MAMR", factor]);
+        // Regression: these used to abort with the `MemSize::scale` panic
+        // (signal, no diagnostic); now they are ordinary errors.
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "factor {factor} should exit 1, got {:?}",
+            output.status
+        );
+        let message = stderr(&output);
+        assert!(
+            message.contains("invalid capacity factor"),
+            "factor {factor}: unexpected diagnostic {message:?}"
+        );
+    }
+}
+
+#[test]
+fn run_accepts_a_valid_factor() {
+    let scratch = ScratchDir::new("run-ok");
+    let trace = generate_one_trace(scratch.path());
+    let output = dts(&["run", trace.to_str().unwrap(), "MAMR", "1.5"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("makespan"), "unexpected output: {text:?}");
+}
+
+#[test]
+fn generate_rejects_more_ranks_than_the_largest_topology() {
+    let scratch = ScratchDir::new("generate-too-many");
+    let dir = scratch.path().to_str().unwrap();
+    // Regression: 500 ranks used to silently clamp to the topology's 150
+    // processes and exit 0 after writing fewer files than requested.
+    let output = dts(&["generate", "ccsd", dir, "500"]);
+    assert_eq!(output.status.code(), Some(1));
+    let message = stderr(&output);
+    assert!(
+        message.contains("500 ranks requested") && message.contains("150"),
+        "unexpected diagnostic: {message:?}"
+    );
+    // Nothing was generated.
+    assert_eq!(std::fs::read_dir(scratch.path()).unwrap().count(), 0);
+}
+
+#[test]
+fn generate_reports_how_many_ranks_were_written() {
+    let scratch = ScratchDir::new("generate-count");
+    let dir = scratch.path().to_str().unwrap();
+    let output = dts(&["generate", "hf", dir, "2"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(
+        stdout(&output).contains("generated 2 of 2 requested ranks"),
+        "unexpected output: {:?}",
+        stdout(&output)
+    );
+    assert_eq!(std::fs::read_dir(scratch.path()).unwrap().count(), 2);
+}
+
+#[test]
+fn generate_rejects_zero_ranks() {
+    let scratch = ScratchDir::new("generate-zero");
+    let output = dts(&["generate", "hf", scratch.path().to_str().unwrap(), "0"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("at least 1"));
+}

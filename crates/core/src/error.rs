@@ -30,6 +30,10 @@ pub enum CoreError {
     },
     /// A sequence or schedule mentions the same task more than once.
     DuplicateTask(TaskId),
+    /// A memory-capacity scale factor is not a finite non-negative number
+    /// (NaN, infinite, or negative). Stored pre-formatted so the error
+    /// stays `Eq` despite the `f64` origin.
+    InvalidCapacityFactor(String),
     /// A schedule was found infeasible; the message summarizes the first
     /// violation.
     Infeasible(String),
@@ -58,6 +62,10 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateTask(id) => {
                 write!(f, "sequence mentions task {id} more than once")
             }
+            CoreError::InvalidCapacityFactor(factor) => write!(
+                f,
+                "invalid capacity factor {factor}: must be a finite non-negative number"
+            ),
             CoreError::Infeasible(msg) => write!(f, "infeasible schedule: {msg}"),
             CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -87,5 +95,7 @@ mod tests {
         assert!(CoreError::DuplicateTask(TaskId(2))
             .to_string()
             .contains("T2"));
+        let e = CoreError::InvalidCapacityFactor("NaN".into());
+        assert!(e.to_string().contains("invalid capacity factor NaN"));
     }
 }

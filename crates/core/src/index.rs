@@ -8,28 +8,43 @@
 //! scanning every remaining task makes each decision O(n) and the whole run
 //! O(n²).
 //!
-//! [`CandidateIndex`] answers the same selection queries in O(log n) /
-//! O(log² n) per decision. It keeps the tasks of an instance sorted by
-//! `(communication time, id)` and maintains two structures over that order:
+//! [`CandidateIndex`] answers the communication-time queries in O(log n)
+//! and the ratio query in O((1 + d) · log n), where `d` counts the
+//! distinct communication times whose best-ratio task is blocked by the
+//! memory threshold — O(log n) whenever the communication times are
+//! quantized, as in the paper's tile-based traces (see
+//! [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within)
+//! for the exact bound). It keeps the tasks of an instance sorted by
+//! `(communication time, id)` and maintains three structures over that
+//! order:
 //!
 //! * a **min-memory segment tree**: each node stores the smallest memory
 //!   requirement among its still-present tasks, which lets directed descents
 //!   find the leftmost/rightmost fitting task of any communication-time
 //!   range in O(log n);
-//! * a **ratio range tree** (a merge-sort tree): each node additionally
-//!   stores its tasks sorted by memory requirement together with an inner
-//!   segment tree of acceleration ratios, which lets a prefix of the
-//!   communication order be searched for the best-ratio fitting task in
-//!   O(log² n).
+//! * a **memory-order ratio tree**: a segment tree whose leaves are the
+//!   tasks sorted by `(memory, position)`, aggregating the best present
+//!   `(acceleration ratio, id)` pair. A memory threshold is a *canonical
+//!   prefix* of this order, so "best ratio among all fitting tasks" is a
+//!   plain prefix-maximum query — O(log n) worst case, no search;
+//! * a **block-priority ratio tree**: the communication order splits into
+//!   runs of equal communication time, and every communication-time bound
+//!   cuts exactly at a run boundary. Each run keeps its own small
+//!   memory-sorted prefix-maximum tree (the runs partition the tasks, so
+//!   these sum to O(n)), and an outer tree over the runs stores each
+//!   subtree's *champion* — its best present `(ratio, id)` — heap-ordered
+//!   down every root path like a priority search tree over
+//!   `(memory, ratio)`. A range of runs is searched champion-first: a
+//!   champion that fits in memory dominates its whole subtree and is taken
+//!   without descending, and a blocked run resolves *exactly* via its own
+//!   prefix-maximum tree, so memory-blocked high-ratio tasks cost one
+//!   O(log n) probe per distinct communication time instead of one tree
+//!   walk per task.
 //!
-//! Three queries cover all of the paper's selection rules (see
-//! [`min_comm_candidate`](CandidateIndex::min_comm_candidate),
-//! [`max_comm_candidate_within`](CandidateIndex::max_comm_candidate_within)
-//! and
-//! [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within)):
-//! the key observation is that a task fits at a decision instant iff its
-//! memory requirement is at most the free memory, so "fits" is a pure
-//! threshold on the indexed quantity and never requires rescanning.
+//! All three structures store O(1) words per task slot, so the index takes
+//! O(n) memory and O(log n) per update, where the previous merge-sort
+//! ratio tree paid O(n log n) memory and O(log² n) per update;
+//! construction is O(n) beyond its sorts.
 //!
 //! ```
 //! use dts_core::index::CandidateIndex;
@@ -58,8 +73,8 @@ use crate::memory::MemSize;
 use crate::task::TaskId;
 use crate::time::Time;
 
-/// Aggregate of the ratio range tree: the best `(acceleration ratio, id)`
-/// pair of a set of tasks, where "best" is the largest ratio and ties prefer
+/// Aggregate of the ratio trees: the best `(acceleration ratio, id)` pair
+/// of a set of tasks, where "best" is the largest ratio and ties prefer
 /// the smallest id — exactly the MAMR/OOMAMR choice rule.
 /// [`Time::ratio`] never produces NaN, so `f64` comparisons are total here.
 type RatioBest = (f64, u32);
@@ -68,98 +83,64 @@ type RatioBest = (f64, u32);
 /// are non-negative) and losing every id tie.
 const RATIO_NEUTRAL: RatioBest = (f64::NEG_INFINITY, u32::MAX);
 
+/// `true` iff `a` is a strictly better MAMR choice than `b` (larger ratio,
+/// or the same ratio with a smaller id).
 #[inline]
-fn ratio_combine(a: RatioBest, b: RatioBest) -> RatioBest {
-    if a.0 > b.0 {
-        a
-    } else if b.0 > a.0 {
+fn key_beats(a: RatioBest, b: RatioBest) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+#[inline]
+fn key_combine(a: RatioBest, b: RatioBest) -> RatioBest {
+    if key_beats(b, a) {
         b
-    } else if a.1 <= b.1 {
-        a
     } else {
-        b
+        a
     }
 }
 
-/// Sentinel stored in the min-memory tree for removed tasks and padding
+/// Sentinel stored in the min-memory trees for removed tasks and padding
 /// leaves. `u128` so that it compares above every real memory requirement,
 /// including a legitimate `u64::MAX`-byte task.
 const MEM_ABSENT: u128 = u128::MAX;
 
-/// One node of the ratio range tree: the tasks of the node's communication
-/// range sorted by `(memory, position)`, plus an iterative segment tree of
-/// [`RatioBest`] aggregates over that order (removed tasks are set to
-/// [`RATIO_NEUTRAL`], the sorted list itself is immutable).
-#[derive(Debug, Clone, Default)]
-struct RatioNode {
-    by_mem: Vec<(u64, u32)>,
-    inner: Vec<RatioBest>,
-}
-
-impl RatioNode {
-    fn build(by_mem: Vec<(u64, u32)>, key_of: impl Fn(u32) -> RatioBest) -> Self {
-        let len = by_mem.len();
-        let mut inner = vec![RATIO_NEUTRAL; 2 * len];
-        for (i, &(_, pos)) in by_mem.iter().enumerate() {
-            inner[len + i] = key_of(pos);
+/// Standard iterative prefix-maximum over a key segment tree with `size`
+/// leaves (stored in `tree[size..2 size]`): the best key among the first
+/// `k` leaves. Shared by the global memory-order tree and every per-run
+/// tree.
+fn prefix_best(tree: &[RatioBest], size: usize, k: usize) -> RatioBest {
+    let mut best = RATIO_NEUTRAL;
+    let (mut l, mut r) = (size, size + k);
+    while l < r {
+        if l & 1 == 1 {
+            best = key_combine(best, tree[l]);
+            l += 1;
         }
-        for i in (1..len).rev() {
-            inner[i] = ratio_combine(inner[2 * i], inner[2 * i + 1]);
+        if r & 1 == 1 {
+            r -= 1;
+            best = key_combine(best, tree[r]);
         }
-        RatioNode { by_mem, inner }
+        l >>= 1;
+        r >>= 1;
     }
-
-    /// Best ratio among the first `k` tasks of the by-memory order.
-    fn prefix_best(&self, k: usize) -> RatioBest {
-        let len = self.by_mem.len();
-        let mut best = RATIO_NEUTRAL;
-        let (mut l, mut r) = (len, len + k);
-        while l < r {
-            if l & 1 == 1 {
-                best = ratio_combine(best, self.inner[l]);
-                l += 1;
-            }
-            if r & 1 == 1 {
-                r -= 1;
-                best = ratio_combine(best, self.inner[r]);
-            }
-            l >>= 1;
-            r >>= 1;
-        }
-        best
-    }
-
-    /// Sets the aggregate key of the task stored at `(mem, pos)`:
-    /// [`RATIO_NEUTRAL`] on removal, the task's `(ratio, id)` on restore.
-    fn set(&mut self, mem: u64, pos: u32, key: RatioBest) {
-        let idx = self
-            .by_mem
-            .binary_search(&(mem, pos))
-            .expect("task is present in every range-tree node covering it");
-        let len = self.by_mem.len();
-        let mut i = len + idx;
-        self.inner[i] = key;
-        while i > 1 {
-            i >>= 1;
-            self.inner[i] = ratio_combine(self.inner[2 * i], self.inner[2 * i + 1]);
-        }
-    }
+    best
 }
 
 /// An index over the not-yet-scheduled tasks of an instance, ordered by
 /// `(communication time, id)` and searchable by memory threshold.
 ///
-/// Construction is O(n log n); [`remove`](CandidateIndex::remove) is
-/// O(log² n); the candidate queries are O(log n) except the ratio query,
-/// which is O(log² n). See the [module documentation](self) for how the
-/// queries map onto the paper's selection rules.
+/// Construction is O(n) beyond its sorts; [`remove`](CandidateIndex::remove)
+/// and [`restore`](CandidateIndex::restore) are O(log n); the
+/// communication-time queries are O(log n) and the ratio query is
+/// output-sensitive — see the [module documentation](self) for how the
+/// queries map onto the paper's selection rules, and
+/// [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within)
+/// for its exact bound.
 ///
-/// The ratio range tree dominates the construction time and memory
-/// (O(n log n) entries, vs O(n) for everything else); selection rules that
-/// never ask ratio queries — the largest/smallest-communication criteria —
-/// should build the index with
-/// [`comm_only`](CandidateIndex::comm_only), which skips that tree and
-/// makes [`remove`](CandidateIndex::remove) O(log n).
+/// Selection rules that never ask ratio queries — the
+/// largest/smallest-communication criteria — should build the index with
+/// [`comm_only`](CandidateIndex::comm_only), which skips the two ratio
+/// trees and the per-task acceleration ratios entirely.
 #[derive(Debug, Clone)]
 pub struct CandidateIndex {
     /// Communication time at each position of the `(comm, id)` order
@@ -175,23 +156,53 @@ pub struct CandidateIndex {
     present: Vec<bool>,
     /// Number of tasks still present.
     len: usize,
-    /// Leaf offset of the two trees (`next_power_of_two` of the task count).
+    /// Leaf offset of the min-memory and memory-order trees
+    /// (`next_power_of_two` of the task count).
     base: usize,
-    /// Min-memory segment tree over positions (`2 * base` slots, node `i`
-    /// covers the same span in both trees).
+    /// Min-memory segment tree over positions (`2 * base` slots).
     min_mem: Vec<u128>,
-    /// Ratio range tree, indexed like `min_mem`; `None` for
-    /// [`comm_only`](CandidateIndex::comm_only) indexes.
-    ratio_tree: Option<Vec<RatioNode>>,
     /// Acceleration ratio at each position (empty for
-    /// [`comm_only`](CandidateIndex::comm_only) indexes); needed to rebuild
-    /// a leaf's aggregate key on [`restore`](CandidateIndex::restore).
+    /// [`comm_only`](CandidateIndex::comm_only) indexes, like every other
+    /// ratio-machinery field below); needed to rebuild a leaf's aggregate
+    /// key on [`restore`](CandidateIndex::restore).
     ratio: Vec<f64>,
+    /// Memory-order ratio tree, indexed like `min_mem`: leaf `r` holds the
+    /// key of the task at rank `r` of the `(memory, position)` order.
+    mem_tree: Vec<RatioBest>,
+    /// Memory requirement at each rank of the `(memory, position)` order
+    /// (non-decreasing; a free-memory threshold maps to a prefix of it).
+    mem_sorted: Vec<u64>,
+    /// Rank of each position in the `(memory, position)` order.
+    mem_rank_of: Vec<u32>,
+    /// Equal-communication-time run containing each position.
+    block_of_pos: Vec<u32>,
+    /// First position of each run (`m + 1` entries, last one `n`).
+    block_start: Vec<u32>,
+    /// Rank of each position within its run's `(memory, position)` order.
+    rank_in_block: Vec<u32>,
+    /// Per-run sorted memory requirements, concatenated; run `b` owns
+    /// `block_start[b]..block_start[b + 1]`.
+    block_mem_sorted: Vec<u64>,
+    /// Per-run prefix-maximum trees over the per-run memory order,
+    /// concatenated; run `b` (size `s`) owns the `2 s` slots starting at
+    /// `2 * block_start[b]`, leaves in the upper half.
+    block_keys: Vec<RatioBest>,
+    /// Per-run min-memory trees with the same layout as `block_keys`; each
+    /// root feeds the outer tree's min-memory leaf.
+    block_min_mem: Vec<u128>,
+    /// Leaf offset of the outer trees (`next_power_of_two` of the run
+    /// count).
+    outer_base: usize,
+    /// Outer champion tree over the runs: each node stores the best present
+    /// key of its run range (leaf `b` mirrors run `b`'s root).
+    outer_keys: Vec<RatioBest>,
+    /// Outer min-memory tree over the runs, indexed like `outer_keys`.
+    outer_min_mem: Vec<u128>,
 }
 
 impl CandidateIndex {
     /// Builds the full index over every task of `instance`, including the
-    /// ratio range tree behind
+    /// ratio trees behind
     /// [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within).
     ///
     /// # Panics
@@ -203,9 +214,9 @@ impl CandidateIndex {
         Self::build(instance, true)
     }
 
-    /// Builds the index without the ratio range tree: half the memory and
-    /// build time, O(log n) removals — for selection rules that only need
-    /// the communication-time queries.
+    /// Builds the index without the ratio trees or the per-task
+    /// acceleration ratios — for selection rules that only need the
+    /// communication-time queries.
     ///
     /// # Panics
     ///
@@ -217,7 +228,7 @@ impl CandidateIndex {
         Self::build(instance, false)
     }
 
-    fn build(instance: &Instance, with_ratio_tree: bool) -> Self {
+    fn build(instance: &Instance, with_ratio_trees: bool) -> Self {
         let n = instance.len();
         assert!(
             u32::try_from(n).is_ok(),
@@ -247,34 +258,7 @@ impl CandidateIndex {
             min_mem[i] = min_mem[2 * i].min(min_mem[2 * i + 1]);
         }
 
-        // Bottom-up merge of the by-memory lists (a merge sort over the
-        // leaves), building each node's inner ratio tree as it forms. Only
-        // this tree consumes the acceleration ratios, so they are computed
-        // here and not at all for `comm_only` indexes.
-        let ratio: Vec<f64> = if with_ratio_tree {
-            id_at
-                .iter()
-                .map(|&id| instance.task(id).acceleration_ratio())
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let ratio_tree = with_ratio_tree.then(|| {
-            let mut tree = vec![RatioNode::default(); 2 * base];
-            let key_of = |pos: u32| -> RatioBest {
-                (ratio[pos as usize], id_at[pos as usize].index() as u32)
-            };
-            for (pos, &m) in mem.iter().enumerate() {
-                tree[base + pos] = RatioNode::build(vec![(m, pos as u32)], key_of);
-            }
-            for i in (1..base).rev() {
-                let merged = merge_by_mem(&tree[2 * i].by_mem, &tree[2 * i + 1].by_mem);
-                tree[i] = RatioNode::build(merged, key_of);
-            }
-            tree
-        });
-
-        CandidateIndex {
+        let mut index = CandidateIndex {
             comm,
             id_at,
             mem,
@@ -283,9 +267,128 @@ impl CandidateIndex {
             len: n,
             base,
             min_mem,
-            ratio_tree,
-            ratio,
+            ratio: Vec::new(),
+            mem_tree: Vec::new(),
+            mem_sorted: Vec::new(),
+            mem_rank_of: Vec::new(),
+            block_of_pos: Vec::new(),
+            block_start: Vec::new(),
+            rank_in_block: Vec::new(),
+            block_mem_sorted: Vec::new(),
+            block_keys: Vec::new(),
+            block_min_mem: Vec::new(),
+            outer_base: 0,
+            outer_keys: Vec::new(),
+            outer_min_mem: Vec::new(),
+        };
+        if with_ratio_trees {
+            index.build_ratio_trees(instance);
         }
+        index
+    }
+
+    /// Builds the ratio machinery: the per-position ratios, the
+    /// memory-order tree, the per-run trees and the outer champion tree.
+    /// O(n) beyond the `(memory, position)` sorts.
+    fn build_ratio_trees(&mut self, instance: &Instance) {
+        let n = self.comm.len();
+        let base = self.base;
+        self.ratio = self
+            .id_at
+            .iter()
+            .map(|&id| instance.task(id).acceleration_ratio())
+            .collect();
+        let key_of =
+            |pos: usize| -> RatioBest { (self.ratio[pos], self.id_at[pos].index() as u32) };
+
+        // Memory-order tree: leaves follow the global (memory, position)
+        // sort so a free-memory threshold is a canonical prefix.
+        let mut by_mem: Vec<u32> = (0..n as u32).collect();
+        by_mem.sort_unstable_by_key(|&pos| (self.mem[pos as usize], pos));
+        self.mem_sorted = Vec::with_capacity(n);
+        self.mem_rank_of = vec![0u32; n];
+        self.mem_tree = vec![RATIO_NEUTRAL; 2 * base];
+        for (rank, &pos) in by_mem.iter().enumerate() {
+            self.mem_sorted.push(self.mem[pos as usize]);
+            self.mem_rank_of[pos as usize] = rank as u32;
+            self.mem_tree[base + rank] = key_of(pos as usize);
+        }
+        for i in (1..base).rev() {
+            self.mem_tree[i] = key_combine(self.mem_tree[2 * i], self.mem_tree[2 * i + 1]);
+        }
+
+        // Equal-communication runs. The (comm, id) order makes them
+        // contiguous, and every communication bound cuts at a run boundary.
+        self.block_of_pos = vec![0u32; n];
+        self.block_start = vec![0u32];
+        for pos in 0..n {
+            if pos > 0 && self.comm[pos] != self.comm[pos - 1] {
+                self.block_start.push(pos as u32);
+            }
+            self.block_of_pos[pos] = (self.block_start.len() - 1) as u32;
+        }
+        self.block_start.push(n as u32);
+        let m = self.block_start.len() - 1;
+
+        // Per-run memory-sorted prefix-maximum trees, flat: run `b` of
+        // size `s` owns slots `2 * block_start[b] ..` (2s of them, leaves
+        // in the upper half) — the runs partition the tasks, so the trees
+        // pack into exactly 2n slots.
+        self.rank_in_block = vec![0u32; n];
+        self.block_mem_sorted = vec![0u64; n];
+        self.block_keys = vec![RATIO_NEUTRAL; 2 * n];
+        self.block_min_mem = vec![MEM_ABSENT; 2 * n];
+        for b in 0..m {
+            let (start, end) = (
+                self.block_start[b] as usize,
+                self.block_start[b + 1] as usize,
+            );
+            let s = end - start;
+            let mut run: Vec<u32> = (start as u32..end as u32).collect();
+            run.sort_unstable_by_key(|&pos| (self.mem[pos as usize], pos));
+            let off = 2 * start;
+            for (r, &pos) in run.iter().enumerate() {
+                self.rank_in_block[pos as usize] = r as u32;
+                self.block_mem_sorted[start + r] = self.mem[pos as usize];
+                self.block_keys[off + s + r] = key_of(pos as usize);
+                self.block_min_mem[off + s + r] = u128::from(self.mem[pos as usize]);
+            }
+            for i in (1..s).rev() {
+                self.block_keys[off + i] = key_combine(
+                    self.block_keys[off + 2 * i],
+                    self.block_keys[off + 2 * i + 1],
+                );
+                self.block_min_mem[off + i] =
+                    self.block_min_mem[off + 2 * i].min(self.block_min_mem[off + 2 * i + 1]);
+            }
+        }
+
+        // Outer trees over the runs; leaf `b` mirrors run `b`'s root.
+        self.outer_base = m.next_power_of_two().max(1);
+        self.outer_keys = vec![RATIO_NEUTRAL; 2 * self.outer_base];
+        self.outer_min_mem = vec![MEM_ABSENT; 2 * self.outer_base];
+        for b in 0..m {
+            self.outer_keys[self.outer_base + b] = self.block_root_key(b);
+            self.outer_min_mem[self.outer_base + b] = self.block_root_min_mem(b);
+        }
+        for i in (1..self.outer_base).rev() {
+            self.outer_keys[i] = key_combine(self.outer_keys[2 * i], self.outer_keys[2 * i + 1]);
+            self.outer_min_mem[i] = self.outer_min_mem[2 * i].min(self.outer_min_mem[2 * i + 1]);
+        }
+    }
+
+    /// Root aggregate of run `b`'s key tree (its best present key). Local
+    /// index 1 is the root for every run size — a size-1 run stores its
+    /// single leaf there.
+    #[inline]
+    fn block_root_key(&self, b: usize) -> RatioBest {
+        self.block_keys[2 * self.block_start[b] as usize + 1]
+    }
+
+    /// Root aggregate of run `b`'s min-memory tree.
+    #[inline]
+    fn block_root_min_mem(&self, b: usize) -> u128 {
+        self.block_min_mem[2 * self.block_start[b] as usize + 1]
     }
 
     /// Number of tasks still present.
@@ -306,7 +409,7 @@ impl CandidateIndex {
         self.present[self.pos_of[id.index()] as usize]
     }
 
-    /// Removes a task from the index (it has been scheduled).
+    /// Removes a task from the index (it has been scheduled). O(log n).
     ///
     /// # Panics
     ///
@@ -321,8 +424,7 @@ impl CandidateIndex {
 
     /// Puts a previously [`remove`](CandidateIndex::remove)d task back into
     /// the index — the inverse operation, used when a speculative scheduling
-    /// decision is rolled back. O(log² n) (O(log n) without the ratio
-    /// tree), like removal.
+    /// decision is rolled back. O(log n), like removal.
     ///
     /// # Panics
     ///
@@ -340,10 +442,9 @@ impl CandidateIndex {
     }
 
     /// Writes a position's leaf values — the memory sentinel/value and the
-    /// ratio-tree key — and re-aggregates both trees along the root path.
-    /// The single update ladder behind both
-    /// [`remove`](CandidateIndex::remove) and
-    /// [`restore`](CandidateIndex::restore). `key` is ignored for
+    /// ratio key — and re-aggregates every tree along the root paths. The
+    /// single update ladder behind both [`remove`](CandidateIndex::remove)
+    /// and [`restore`](CandidateIndex::restore). `key` is ignored for
     /// [`comm_only`](CandidateIndex::comm_only) indexes.
     fn write_leaf(&mut self, pos: usize, mem_leaf: u128, key: RatioBest) {
         let mut i = self.base + pos;
@@ -352,17 +453,42 @@ impl CandidateIndex {
             i >>= 1;
             self.min_mem[i] = self.min_mem[2 * i].min(self.min_mem[2 * i + 1]);
         }
+        if self.mem_tree.is_empty() {
+            return;
+        }
 
-        if let Some(tree) = self.ratio_tree.as_mut() {
-            let (m, pos32) = (self.mem[pos], pos as u32);
-            let mut i = self.base + pos;
-            while i >= 1 {
-                tree[i].set(m, pos32, key);
-                if i == 1 {
-                    break;
-                }
-                i >>= 1;
-            }
+        // Memory-order tree.
+        let mut i = self.base + self.mem_rank_of[pos] as usize;
+        self.mem_tree[i] = key;
+        while i > 1 {
+            i >>= 1;
+            self.mem_tree[i] = key_combine(self.mem_tree[2 * i], self.mem_tree[2 * i + 1]);
+        }
+
+        // The position's run, then the outer trees above it.
+        let b = self.block_of_pos[pos] as usize;
+        let start = self.block_start[b] as usize;
+        let s = self.block_start[b + 1] as usize - start;
+        let off = 2 * start;
+        let mut i = s + self.rank_in_block[pos] as usize;
+        self.block_keys[off + i] = key;
+        self.block_min_mem[off + i] = mem_leaf;
+        while i > 1 {
+            i >>= 1;
+            self.block_keys[off + i] = key_combine(
+                self.block_keys[off + 2 * i],
+                self.block_keys[off + 2 * i + 1],
+            );
+            self.block_min_mem[off + i] =
+                self.block_min_mem[off + 2 * i].min(self.block_min_mem[off + 2 * i + 1]);
+        }
+        let mut i = self.outer_base + b;
+        self.outer_keys[i] = self.block_root_key(b);
+        self.outer_min_mem[i] = self.block_root_min_mem(b);
+        while i > 1 {
+            i >>= 1;
+            self.outer_keys[i] = key_combine(self.outer_keys[2 * i], self.outer_keys[2 * i + 1]);
+            self.outer_min_mem[i] = self.outer_min_mem[2 * i].min(self.outer_min_mem[2 * i + 1]);
         }
     }
 
@@ -410,34 +536,171 @@ impl CandidateIndex {
     /// acceleration ratio, ties broken by smallest id — the MAMR choice.
     /// When no fitting task avoids CPU idle time, calling this with
     /// `comm_bound` equal to the minimum fitting communication time restricts
-    /// the query to exactly the minimum-idle candidates.
+    /// the query to exactly the minimum-idle candidates (though
+    /// [`best_ratio_candidate_at`](CandidateIndex::best_ratio_candidate_at)
+    /// states that case more directly).
+    ///
+    /// The query runs in two stages. First, a prefix-maximum probe of the
+    /// memory-order ratio tree yields the best-ratio fitting task with the
+    /// communication bound ignored — whenever that winner also satisfies
+    /// the bound (every decision where the processing-unit backlog covers
+    /// the candidates' communication times), it dominates the constrained
+    /// set and is returned after two O(log n) probes. Otherwise the range
+    /// of equal-communication runs under the bound is searched
+    /// champion-first through the outer tree: a champion that fits is
+    /// taken without descending, a subtree with no fitting present task is
+    /// skipped (outer min-memory pruning), and a run whose champion is
+    /// memory-blocked resolves exactly via its own prefix-maximum tree.
+    /// Worst case that is O((1 + d) · log n), with `d` the number of
+    /// distinct communication times under the bound whose run champion
+    /// out-ranks the answer but fails the memory threshold — O(log n) for
+    /// the tile-quantized traces of the paper, whose distinct
+    /// communication times are few and ratio ties massive.
     ///
     /// # Panics
     ///
     /// Panics if the index was built with
     /// [`comm_only`](CandidateIndex::comm_only).
     pub fn best_ratio_candidate_within(&self, free: MemSize, comm_bound: Time) -> Option<TaskId> {
-        let tree = self
-            .ratio_tree
-            .as_ref()
-            .expect("ratio query on an index built with CandidateIndex::comm_only");
-        let free = free.bytes();
         let hi = self.comm.partition_point(|&c| c <= comm_bound);
-        let mut best = RATIO_NEUTRAL;
-        let (mut l, mut r) = (self.base, self.base + hi);
+        self.best_ratio_in_range(free, 0, hi)
+    }
+
+    /// Among present tasks with memory requirement at most `free` and
+    /// communication time *exactly* `comm`, the one with the largest
+    /// acceleration ratio, ties broken by smallest id.
+    ///
+    /// This is the MAMR choice when every fitting task induces CPU idle
+    /// time: the candidates are then the fitting tasks whose communication
+    /// time equals the minimum fitting communication time, and restricting
+    /// the query to that single equal-communication run keeps the
+    /// high-ratio *shorter*-communication tasks — which can never be
+    /// candidates, since they do not fit — out of the search entirely.
+    /// Same staging and complexity as
+    /// [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built with
+    /// [`comm_only`](CandidateIndex::comm_only).
+    pub fn best_ratio_candidate_at(&self, free: MemSize, comm: Time) -> Option<TaskId> {
+        let lo = self.comm.partition_point(|&c| c < comm);
+        let hi = self.comm.partition_point(|&c| c <= comm);
+        self.best_ratio_in_range(free, lo, hi)
+    }
+
+    /// The two-stage ratio query over the position range `[lo, hi)`, which
+    /// is always aligned to equal-communication run boundaries.
+    fn best_ratio_in_range(&self, free: MemSize, lo: usize, hi: usize) -> Option<TaskId> {
+        assert!(
+            !self.mem_tree.is_empty(),
+            "ratio query on an index built with CandidateIndex::comm_only"
+        );
+        if lo >= hi {
+            return None;
+        }
+        let free = free.bytes();
+        // Stage 1: the best fitting task regardless of communication time.
+        // If it lands in the queried range it dominates the whole query
+        // set; if nothing fits at all, the constrained set is empty too.
+        let k = self.mem_sorted.partition_point(|&m| m <= free);
+        let unconstrained = self.mem_prefix_best(k);
+        if unconstrained == RATIO_NEUTRAL {
+            return None;
+        }
+        let winner_pos = self.pos_of[unconstrained.1 as usize] as usize;
+        if (lo..hi).contains(&winner_pos) {
+            return Some(TaskId(unconstrained.1 as usize));
+        }
+        // Stage 2: the winner lies outside the range; search the runs of
+        // the range through the outer champion tree. The range is
+        // run-aligned, so the canonical decomposition below covers exactly
+        // the runs [block_of(lo), block_of(hi - 1)]; at most one node per
+        // side per level, so the fixed stacks suffice (cf.
+        // `directed_search`).
+        let limit = u128::from(free);
+        let blo = self.block_of_pos[lo] as usize;
+        let bhi = self.block_of_pos[hi - 1] as usize + 1;
+        let mut nodes = [0usize; 64];
+        let mut n_nodes = 0;
+        let (mut l, mut r) = (self.outer_base + blo, self.outer_base + bhi);
         while l < r {
             if l & 1 == 1 {
-                best = ratio_combine(best, node_prefix_best(&tree[l], free));
+                nodes[n_nodes] = l;
+                n_nodes += 1;
                 l += 1;
             }
             if r & 1 == 1 {
                 r -= 1;
-                best = ratio_combine(best, node_prefix_best(&tree[r], free));
+                nodes[n_nodes] = r;
+                n_nodes += 1;
             }
             l >>= 1;
             r >>= 1;
         }
+        let mut best = RATIO_NEUTRAL;
+        for &node in &nodes[..n_nodes] {
+            self.outer_search(node, limit, free, &mut best);
+        }
         (best != RATIO_NEUTRAL).then_some(TaskId(best.1 as usize))
+    }
+
+    /// Champion-first search of one outer subtree, tightening `best` in
+    /// place: skips subtrees with no fitting present task or whose champion
+    /// cannot out-rank `best`, accepts a fitting champion without
+    /// descending, and resolves a memory-blocked run exactly via the run's
+    /// prefix-maximum tree.
+    fn outer_search(&self, node: usize, limit: u128, free: u64, best: &mut RatioBest) {
+        // No present task of the subtree fits in the free memory…
+        if self.outer_min_mem[node] > limit {
+            return;
+        }
+        let champ = self.outer_keys[node];
+        // …or even its best-ranked task would lose to the current best.
+        if !key_beats(champ, *best) {
+            return;
+        }
+        if self.mem[self.pos_of[champ.1 as usize] as usize] <= free {
+            // The champion fits and dominates its whole subtree.
+            *best = champ;
+            return;
+        }
+        if node >= self.outer_base {
+            // A run whose champion is memory-blocked: resolve it exactly.
+            let key = self.block_best(node - self.outer_base, free);
+            if key_beats(key, *best) {
+                *best = key;
+            }
+            return;
+        }
+        let (a, b) = (2 * node, 2 * node + 1);
+        // Search the better-ranked child first so the second is usually
+        // pruned by the tightened `best`.
+        let (first, second) = if key_beats(self.outer_keys[b], self.outer_keys[a]) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        self.outer_search(first, limit, free, best);
+        self.outer_search(second, limit, free, best);
+    }
+
+    /// Best present key among the tasks of run `b` with memory requirement
+    /// at most `free`: a prefix-maximum over the run's memory-sorted
+    /// leaves. O(log of the run size), worst case — the memory threshold
+    /// is a canonical prefix of the run's leaf order.
+    fn block_best(&self, b: usize, free: u64) -> RatioBest {
+        let start = self.block_start[b] as usize;
+        let s = self.block_start[b + 1] as usize - start;
+        let k = self.block_mem_sorted[start..start + s].partition_point(|&m| m <= free);
+        prefix_best(&self.block_keys[2 * start..], s, k)
+    }
+
+    /// Best present key among the first `k` ranks of the global
+    /// `(memory, position)` order — the fitting tasks under a memory
+    /// threshold, communication bound ignored.
+    fn mem_prefix_best(&self, k: usize) -> RatioBest {
+        prefix_best(&self.mem_tree, self.base, k)
     }
 
     /// Leftmost position in `[lo, hi)` whose present task needs at most
@@ -511,29 +774,6 @@ impl CandidateIndex {
     }
 }
 
-/// Best ratio among the tasks of `node` with memory at most `free`.
-fn node_prefix_best(node: &RatioNode, free: u64) -> RatioBest {
-    let k = node.by_mem.partition_point(|&(m, _)| m <= free);
-    node.prefix_best(k)
-}
-
-fn merge_by_mem(a: &[(u64, u32)], b: &[(u64, u32)]) -> Vec<(u64, u32)> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -565,6 +805,12 @@ mod tests {
             index.best_ratio_candidate_within(all, Time::units_int(5)),
             Some(TaskId(1))
         );
+        // Exactly comm 4: C. Exactly comm 2: no such task.
+        assert_eq!(
+            index.best_ratio_candidate_at(all, Time::units_int(4)),
+            Some(TaskId(2))
+        );
+        assert_eq!(index.best_ratio_candidate_at(all, Time::units_int(2)), None);
 
         // With only one free byte, only B fits.
         let one = MemSize::from_bytes(1);
@@ -649,6 +895,56 @@ mod tests {
     }
 
     #[test]
+    fn blocked_champions_resolve_to_the_best_fitting_task() {
+        // Ratios strictly decrease with id while memory alternates
+        // huge/small, so under a small memory threshold the champion of
+        // every run is blocked and the query must resolve runs exactly
+        // instead of trusting their champions.
+        let mut builder = crate::instance::InstanceBuilder::new().capacity(MemSize::from_bytes(50));
+        for i in 0..9u64 {
+            let mem = if i % 2 == 0 { 50 } else { 1 };
+            // Alternate two communication times so several runs exist.
+            builder = builder.task_units(
+                &format!("t{i}"),
+                (2 + (i % 2)) as f64,
+                (36 - 2 * i) as f64,
+                mem,
+            );
+        }
+        let mut index = CandidateIndex::new(&builder.build().unwrap());
+        let bound = Time::units_int(3);
+        // Everything fits: the global champion (t0) wins outright.
+        assert_eq!(
+            index.best_ratio_candidate_within(MemSize::from_bytes(50), bound),
+            Some(TaskId(0))
+        );
+        // Only the odd ids fit one byte; the best of those is t1.
+        let one = MemSize::from_bytes(1);
+        assert_eq!(
+            index.best_ratio_candidate_within(one, bound),
+            Some(TaskId(1))
+        );
+        // Restricting to comm == 3 (the odd ids' run) keeps t1 on top;
+        // comm == 2 holds no fitting task at all.
+        assert_eq!(
+            index.best_ratio_candidate_at(one, Time::units_int(3)),
+            Some(TaskId(1))
+        );
+        assert_eq!(index.best_ratio_candidate_at(one, Time::units_int(2)), None);
+        // Removing t1 hands the query to the next fitting task down.
+        index.remove(TaskId(1));
+        assert_eq!(
+            index.best_ratio_candidate_within(one, bound),
+            Some(TaskId(3))
+        );
+        index.restore(TaskId(1));
+        assert_eq!(
+            index.best_ratio_candidate_within(one, bound),
+            Some(TaskId(1))
+        );
+    }
+
+    #[test]
     fn ties_prefer_the_smallest_id() {
         // Three tasks with identical comm times and ratios: every query must
         // resolve ties toward the smallest id among those that fit.
@@ -679,5 +975,6 @@ mod tests {
             index.best_ratio_candidate_within(small, bound),
             Some(TaskId(1))
         );
+        assert_eq!(index.best_ratio_candidate_at(small, bound), Some(TaskId(1)));
     }
 }

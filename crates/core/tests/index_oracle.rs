@@ -60,6 +60,26 @@ fn naive_best_ratio(
         .map(|(id, _)| id)
 }
 
+/// Naive scan: largest acceleration ratio among tasks with comm exactly
+/// `comm`, ties to the smallest id.
+fn naive_best_ratio_at(
+    instance: &Instance,
+    alive: &[bool],
+    free: MemSize,
+    comm: Time,
+) -> Option<TaskId> {
+    instance
+        .iter()
+        .filter(|(id, t)| alive[id.index()] && t.mem <= free && t.comm_time == comm)
+        .min_by(|(a_id, a), (b_id, b)| {
+            b.acceleration_ratio()
+                .partial_cmp(&a.acceleration_ratio())
+                .expect("acceleration ratios are never NaN")
+                .then(a_id.index().cmp(&b_id.index()))
+        })
+        .map(|(id, _)| id)
+}
+
 /// Compares every index query (and the `comm_only` twin) against the naive
 /// scans for one `(free, bound)` probe. Returns the first mismatch as a
 /// message, so both the assert-style suite and the `microcheck` properties
@@ -97,6 +117,16 @@ fn probe_queries(
     );
     if got != want {
         return mismatch("best_ratio", got, want);
+    }
+    // The exact-communication variant (the engine's minimum-idle block
+    // query); the random bound doubles as the probed communication time,
+    // hitting both real and absent values on the small test domains.
+    let (got, want) = (
+        index.best_ratio_candidate_at(free, bound),
+        naive_best_ratio_at(instance, alive, free, bound),
+    );
+    if got != want {
+        return mismatch("best_ratio_at", got, want);
     }
     let (got, want) = (
         comm_only.min_comm_candidate(free),
@@ -332,6 +362,56 @@ microcheck::property! {
     ) {
         check_interleaved(&spec, op_seed)?;
     }
+}
+
+/// A deliberately broken claim — "the ratio query ignores memory", i.e.
+/// the best-ratio candidate under one free byte always equals the one
+/// under unbounded memory — must not only fail but shrink to the smallest
+/// counterexample of the domain: a single task of two bytes (the least
+/// memory that cannot fit in one byte) with zero communication and
+/// computation time and zero capacity slack. Reaching that exact witness
+/// demonstrates the shrinker finds global minima on the instance domain,
+/// not just smaller failures.
+#[test]
+fn broken_memory_blindness_claim_shrinks_to_the_minimal_instance() {
+    let failure = microcheck::check(
+        &microcheck::Config::default(),
+        &dts_core::testgen::instance_gen(1..=40),
+        |spec| {
+            let instance = spec.build();
+            let index = CandidateIndex::new(&instance);
+            let bound = Time::units_int(31); // covers the whole domain
+            microcheck::prop_assert_eq!(
+                index.best_ratio_candidate_within(MemSize::from_bytes(1), bound),
+                index.best_ratio_candidate_within(MemSize::UNBOUNDED, bound)
+            );
+            Ok(())
+        },
+    )
+    .expect_err("the memory-blindness claim is false");
+
+    let minimal = failure.minimal;
+    // Still a counterexample after minimization...
+    let instance = minimal.build();
+    let index = CandidateIndex::new(&instance);
+    let bound = Time::units_int(31);
+    assert_ne!(
+        index.best_ratio_candidate_within(MemSize::from_bytes(1), bound),
+        index.best_ratio_candidate_within(MemSize::UNBOUNDED, bound)
+    );
+    // ...and of minimal size: one task, two bytes, all times and the
+    // capacity slack at zero. Any single-task counterexample needs
+    // mem >= 2, so this is the unique minimum.
+    assert_eq!(
+        minimal.tasks,
+        vec![dts_core::testgen::TaskSpec {
+            comm: 0,
+            comp: 0,
+            mem: 2,
+        }],
+        "minimized counterexample should be the two-byte unit witness"
+    );
+    assert_eq!(minimal.slack, 0);
 }
 
 #[test]

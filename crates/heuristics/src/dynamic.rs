@@ -62,7 +62,7 @@ pub fn run_dynamic(instance: &Instance, criterion: SelectionCriterion) -> Result
     // Remaining tasks, indexed by memory footprint: each decision is
     // resolved with O(log n) threshold queries instead of scanning every
     // remaining task (see `select_candidate`). Only MAMR asks ratio
-    // queries, so the other criteria skip the ratio range tree.
+    // queries, so the other criteria skip the ratio priority tree.
     let mut index = match criterion {
         SelectionCriterion::MaximumAcceleration => CandidateIndex::new(instance),
         _ => CandidateIndex::comm_only(instance),

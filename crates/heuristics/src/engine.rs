@@ -18,10 +18,14 @@
 //! The decision loops of [`run_dynamic`](crate::dynamic::run_dynamic) and
 //! [`run_corrected_with_order`](crate::corrected::run_corrected_with_order)
 //! do not probe candidates one by one: [`select_candidate`] resolves each
-//! decision with O(log n) / O(log² n) queries against a
+//! decision with O(log n) queries against a
 //! [`CandidateIndex`] of the remaining
-//! tasks, so a whole run costs O(n log² n) instead of the O(n²) of scanning
-//! every remaining task per decision. [`filter_minimum_cpu_idle`] remains
+//! tasks, so a whole run costs O(n log n) instead of the O(n²) of scanning
+//! every remaining task per decision. (The ratio query behind MAMR/OOMAMR
+//! is output-sensitive — O(log n) per decision when communication times
+//! are quantized, as in the paper's traces; see
+//! [`CandidateIndex::best_ratio_candidate_within`] for the general
+//! bound.) [`filter_minimum_cpu_idle`] remains
 //! the executable specification of the selection rule: the
 //! `select_candidate_matches_the_specification_filter` test below replays
 //! whole runs comparing the two decision for decision, and the
@@ -258,16 +262,19 @@ pub fn select_candidate(
     let slack = state.cpu_free.saturating_sub(now);
     if cmin > slack {
         // Every fitting task induces CPU idle time; the candidates are the
-        // fitting tasks with the smallest communication time `cmin`.
+        // fitting tasks with the smallest communication time `cmin`. A
+        // `<= cmin` query would return the same task — no fitting task has
+        // a shorter communication time — but the exact-`cmin` form lets the
+        // index skip the shorter-communication positions entirely instead
+        // of walking their (never-fitting, often high-ratio) tasks as
+        // search blockers.
         return match criterion {
             // All candidates share the same communication time, so both
             // communication criteria pick the smallest id among them —
             // which is `cheapest` by the `(comm, id)` index order.
             SelectionCriterion::LargestCommunication
             | SelectionCriterion::SmallestCommunication => Some(cheapest),
-            SelectionCriterion::MaximumAcceleration => {
-                index.best_ratio_candidate_within(free, cmin)
-            }
+            SelectionCriterion::MaximumAcceleration => index.best_ratio_candidate_at(free, cmin),
         };
     }
     // Some fitting task induces no idle time: the candidates are the fitting

@@ -50,6 +50,7 @@ pub fn smoke_mode() -> bool {
 pub struct Criterion {
     sample_size: usize,
     warmup_passes: usize,
+    noise_threshold: Option<f64>,
 }
 
 impl Default for Criterion {
@@ -57,6 +58,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 100,
             warmup_passes: 1,
+            noise_threshold: None,
         }
     }
 }
@@ -74,6 +76,32 @@ impl Criterion {
     pub fn warm_up_passes(mut self, n: usize) -> Self {
         self.warmup_passes = n;
         self
+    }
+
+    /// Declares this group's benchmarks as inherently noisier than the
+    /// process-wide default: baseline comparisons use the **larger** of
+    /// this fraction and the `--noise-threshold` CLI value. A group can
+    /// only widen its own allowance — it cannot tighten the gate the
+    /// operator asked for.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN, infinite or negative fractions, mirroring the CLI
+    /// flag's validation.
+    pub fn noise_threshold(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "noise_threshold must be a finite non-negative fraction"
+        );
+        self.noise_threshold = Some(fraction);
+        self
+    }
+
+    fn effective_noise_threshold(&self, cli: &CliConfig) -> f64 {
+        match self.noise_threshold {
+            Some(own) => own.max(cli.noise_threshold),
+            None => cli.noise_threshold,
+        }
     }
 
     fn effective_sample_size(&self, cli: &CliConfig) -> usize {
@@ -156,8 +184,12 @@ impl Criterion {
                 .as_ref()
                 .and_then(|name| match report::load_baseline(name, id) {
                     Some(baseline) => {
-                        let comparison =
-                            report::compare(name, &summary, &baseline, cli.noise_threshold);
+                        let comparison = report::compare(
+                            name,
+                            &summary,
+                            &baseline,
+                            self.effective_noise_threshold(cli),
+                        );
                         println!(
                             "{:>44} vs '{name}': {:+.1}% (threshold ±{:.1}%) {}",
                             "",
@@ -308,6 +340,28 @@ mod tests {
     fn group_macros_produce_callables() {
         long_form_group();
         short_form_group();
+    }
+
+    #[test]
+    fn per_group_noise_threshold_only_widens_the_cli_allowance() {
+        let cli_tight = CliConfig::default(); // 5%
+        let c = Criterion::default().noise_threshold(0.5);
+        assert_eq!(c.effective_noise_threshold(&cli_tight), 0.5);
+        // An operator asking for a wider gate than the group's own wins.
+        let cli_wide = CliConfig {
+            noise_threshold: 4.0,
+            ..CliConfig::default()
+        };
+        assert_eq!(c.effective_noise_threshold(&cli_wide), 4.0);
+        // Without a group override the CLI value passes through.
+        let plain = Criterion::default();
+        assert_eq!(plain.effective_noise_threshold(&cli_tight), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise_threshold")]
+    fn rejecting_malformed_group_noise_thresholds() {
+        let _ = Criterion::default().noise_threshold(f64::NAN);
     }
 
     #[test]
