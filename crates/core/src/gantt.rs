@@ -47,11 +47,9 @@ pub fn render(instance: &Instance, schedule: &Schedule, options: GanttOptions) -
     let mut comp_row = vec!['.'; width];
     for entry in schedule.entries() {
         let task = instance.task(entry.task);
-        let glyph = task
-            .name
-            .chars()
-            .next()
-            .unwrap_or_else(|| char::from_digit((entry.task.index() % 10) as u32, 10).unwrap());
+        let glyph = task.name.chars().next().unwrap_or_else(|| {
+            char::from_digit((entry.task.index() % 10) as u32, 10).unwrap_or('?')
+        });
         let (cs, ce) = (
             scale(entry.comm_start),
             scale(entry.comm_start + task.comm_time),

@@ -525,9 +525,12 @@ impl CandidateIndex {
         // chosen task is the leftmost fitting one of the equal-comm block.
         let c = self.comm[pos];
         let lo_block = self.comm.partition_point(|&x| x < c);
+        // The block contains at least the fitting task just found at
+        // `pos`, so falling back to `pos` is correct even if the scan
+        // were ever to miss.
         let leftmost = self
             .leftmost_fitting(lo_block, pos + 1, limit)
-            .expect("the block contains at least the task just found");
+            .unwrap_or(pos);
         Some(self.id_at[leftmost])
     }
 

@@ -11,12 +11,23 @@ use crate::time::Time;
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
 
+/// Unwraps a builder result that is valid by construction (static paper
+/// tables, generators that compute a covering capacity). The arms are
+/// exercised by the unit tests below, so a validation failure here is a
+/// programmer error, not a runtime condition.
+fn valid_by_construction(result: crate::error::Result<Instance>, what: &str) -> Instance {
+    match result {
+        Ok(instance) => instance,
+        Err(e) => unreachable!("{what} must be valid by construction: {e}"),
+    }
+}
+
 /// Table 2 of the paper (capacity 10): the instance for which every optimal
 /// schedule uses different orders on the two resources (Proposition 1 /
 /// Fig. 3). The best permutation schedule has makespan 23, the best general
 /// schedule 22.
 pub fn table2() -> Instance {
-    InstanceBuilder::new()
+    let instance = InstanceBuilder::new()
         .label("paper-table2")
         .capacity(MemSize::from_bytes(10))
         .task_units("A", 0.0, 5.0, 0)
@@ -25,42 +36,42 @@ pub fn table2() -> Instance {
         .task_units("D", 3.0, 7.0, 3)
         .task_units("E", 6.0, 0.5, 6)
         .task_units("F", 7.0, 0.5, 7)
-        .build()
-        .expect("table2 is a valid instance")
+        .build();
+    valid_by_construction(instance, "table2")
 }
 
 /// Table 3 of the paper (capacity 6): the instance used to illustrate the
 /// static-order heuristics (Fig. 4). OMIM = 12.
 pub fn table3() -> Instance {
-    InstanceBuilder::new()
+    let instance = InstanceBuilder::new()
         .label("paper-table3")
         .capacity(MemSize::from_bytes(6))
         .task_units("A", 3.0, 2.0, 3)
         .task_units("B", 1.0, 3.0, 1)
         .task_units("C", 4.0, 4.0, 4)
         .task_units("D", 2.0, 1.0, 2)
-        .build()
-        .expect("table3 is a valid instance")
+        .build();
+    valid_by_construction(instance, "table3")
 }
 
 /// Table 4 of the paper (capacity 6): the instance used to illustrate the
 /// dynamic heuristics (Fig. 5).
 pub fn table4() -> Instance {
-    InstanceBuilder::new()
+    let instance = InstanceBuilder::new()
         .label("paper-table4")
         .capacity(MemSize::from_bytes(6))
         .task_units("A", 3.0, 2.0, 3)
         .task_units("B", 1.0, 6.0, 1)
         .task_units("C", 4.0, 6.0, 4)
         .task_units("D", 5.0, 1.0, 5)
-        .build()
-        .expect("table4 is a valid instance")
+        .build();
+    valid_by_construction(instance, "table4")
 }
 
 /// Table 5 of the paper (capacity 9): the instance used to illustrate the
 /// static-order-with-dynamic-corrections heuristics (Fig. 6).
 pub fn table5() -> Instance {
-    InstanceBuilder::new()
+    let instance = InstanceBuilder::new()
         .label("paper-table5")
         .capacity(MemSize::from_bytes(9))
         .task_units("A", 4.0, 1.0, 4)
@@ -68,8 +79,8 @@ pub fn table5() -> Instance {
         .task_units("C", 8.0, 8.0, 8)
         .task_units("D", 5.0, 4.0, 5)
         .task_units("E", 3.0, 2.0, 3)
-        .build()
-        .expect("table5 is a valid instance")
+        .build();
+    valid_by_construction(instance, "table5")
 }
 
 /// Parameters for [`random_instance`].
@@ -124,8 +135,8 @@ pub fn random_instance<R: Rng + ?Sized>(rng: &mut R, config: RandomInstanceConfi
     }
     let capacity =
         MemSize::from_bytes(((max_mem as f64) * config.capacity_factor.max(1.0)).ceil() as u64);
-    Instance::with_label(tasks, capacity, format!("random-{}", config.n_tasks))
-        .expect("generated instance is valid by construction")
+    let instance = Instance::with_label(tasks, capacity, format!("random-{}", config.n_tasks));
+    valid_by_construction(instance, "the generated random instance")
 }
 
 /// Generates a random instance whose memory requirements are *not* tied to
@@ -151,8 +162,8 @@ pub fn random_instance_decoupled_memory<R: Rng + ?Sized>(
         ));
     }
     let capacity = MemSize::from_bytes(((max_mem as f64) * capacity_factor.max(1.0)).ceil() as u64);
-    Instance::with_label(tasks, capacity, format!("random-decoupled-{n_tasks}"))
-        .expect("generated instance is valid by construction")
+    let instance = Instance::with_label(tasks, capacity, format!("random-decoupled-{n_tasks}"));
+    valid_by_construction(instance, "the generated random instance")
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 //!   decision-driven heuristics to select tasks in O(log n) per decision,
 //! * [`pool`] — the shared work-stealing pool behind the parallel solve
 //!   layers (suite sweeps, batched scheduling, `lp.k` sweeps),
+//! * [`sync`] — the compile-time façade that lets the pool run on either
+//!   `std` atomics or the `microloom` model checker's instrumented types,
 //! * [`feasibility`] — the feasibility checker for schedules (link and CPU
 //!   exclusivity, precedence, memory envelope),
 //! * [`memory`] — memory-occupation profiles,
@@ -49,6 +51,7 @@ pub mod metrics;
 pub mod pool;
 pub mod schedule;
 pub mod simulate;
+pub mod sync;
 pub mod task;
 pub mod testgen;
 pub mod time;

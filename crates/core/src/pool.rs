@@ -10,7 +10,7 @@
 //! deterministic merge — live in a single place.
 
 use crate::error::{CoreError, Result};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 
 /// Runs `job(0..n_items)` over `threads` workers and returns the results in
 /// index order.
@@ -58,9 +58,19 @@ where
                 scope.spawn(|_| {
                     let mut done: Vec<(usize, T)> = Vec::new();
                     loop {
-                        if abort.load(Ordering::Relaxed) {
+                        // Acquire pairs with the Release store below: a worker
+                        // that observes the abort also observes everything the
+                        // failing worker published before it. With Relaxed the
+                        // model checker's message-passing litmus shows the flag
+                        // can be seen without the prior writes (see
+                        // `message_passing_litmus_distinguishes_orderings` in
+                        // vendor/microloom/tests/self_test.rs).
+                        if abort.load(Ordering::Acquire) {
                             break;
                         }
+                        // lint: allow(L003) claim counter publishes no data; the
+                        // RMW modification order alone makes each index claimed
+                        // exactly once (model-checked in tests/pool_model.rs).
                         let index = next_item.fetch_add(1, Ordering::Relaxed);
                         if index >= n_items {
                             break;
@@ -71,7 +81,7 @@ where
                         match run_caught(index) {
                             Ok(value) => done.push((index, value)),
                             Err(e) => {
-                                abort.store(true, Ordering::Relaxed);
+                                abort.store(true, Ordering::Release);
                                 return Err((index, e));
                             }
                         }

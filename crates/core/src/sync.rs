@@ -1,0 +1,22 @@
+//! Compile-time façade over the sync primitives the pool is built on.
+//!
+//! Normal builds re-export the real `std::sync::atomic` types, so the
+//! façade costs nothing. Building with `RUSTFLAGS="--cfg microloom"`
+//! swaps in the vendored `microloom` model checker's instrumented types,
+//! under which every atomic operation becomes a recorded scheduling
+//! decision and the checker explores all interleavings (including stale
+//! values a `Relaxed` load is allowed to observe). [`crate::pool`] is
+//! written against this module only, so the code that is model checked
+//! is byte-for-byte the code that ships.
+//!
+//! Run the model suite with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg microloom" cargo test -p dts_core --test pool_model
+//! ```
+
+#[cfg(not(microloom))]
+pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+#[cfg(microloom)]
+pub use microloom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

@@ -157,13 +157,20 @@ impl InstanceSpec {
     /// Panics if the spec has no tasks (generators built by
     /// [`instance_gen`] always draw at least one).
     pub fn build(&self) -> Instance {
+        assert!(
+            !self.tasks.is_empty(),
+            "InstanceSpec::build needs at least one task"
+        );
         let mut builder = InstanceBuilder::new().capacity(MemSize::from_bytes(self.capacity()));
         for (i, task) in self.tasks.iter().enumerate() {
             builder = builder.task(task.to_task(format!("t{i}")));
         }
-        builder
-            .build()
-            .expect("spec capacity covers every task by construction")
+        match builder.build() {
+            Ok(instance) => instance,
+            // `capacity()` covers the largest task by construction and
+            // emptiness is asserted above, so no builder error remains.
+            Err(e) => unreachable!("spec capacity covers every task: {e}"),
+        }
     }
 }
 

@@ -1,0 +1,264 @@
+//! The ratcheted baseline: known violations, committed as
+//! `lint-baseline.json` at the repo root.
+//!
+//! `--check` compares the current scan against the baseline per
+//! `(file, rule)` bucket: a bucket that *grew* is a failure (new debt),
+//! and a bucket that *shrank* is also a failure until the baseline is
+//! regenerated — that is the ratchet: fixing a violation permanently
+//! lowers the ceiling, because the shrunken baseline gets committed with
+//! the fix.
+//!
+//! The format is a tiny hand-rolled JSON document (this crate is
+//! dependency-free on purpose): `{"version": 1, "violations": {<file>:
+//! {<rule>: <count>}}}`, keys sorted, so diffs stay readable.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// Violation counts per file, per rule.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Groups a scan's findings into baseline buckets.
+pub fn tally(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations {
+        *counts
+            .entry(v.file.clone())
+            .or_default()
+            .entry(v.rule.to_string())
+            .or_default() += 1;
+    }
+    counts
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the baseline document (sorted, diff-friendly).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": {");
+    let mut first_file = true;
+    for (file, rules) in counts {
+        if rules.is_empty() {
+            continue;
+        }
+        if !first_file {
+            out.push(',');
+        }
+        first_file = false;
+        out.push_str(&format!("\n    \"{}\": {{", escape(file)));
+        let mut first_rule = true;
+        for (rule, count) in rules {
+            if !first_rule {
+                out.push(',');
+            }
+            first_rule = false;
+            out.push_str(&format!("\n      \"{}\": {}", escape(rule), count));
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Parses a baseline document; rejects anything it would not itself
+/// render (modulo whitespace), which keeps the parser small and honest.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.eat(b'{')?;
+    let mut counts = Counts::new();
+    let mut version_seen = false;
+    loop {
+        p.ws();
+        if p.try_eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.ws();
+        p.eat(b':')?;
+        p.ws();
+        match key.as_str() {
+            "version" => {
+                let v = p.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline version {v}"));
+                }
+                version_seen = true;
+            }
+            "violations" => {
+                p.eat(b'{')?;
+                loop {
+                    p.ws();
+                    if p.try_eat(b'}') {
+                        break;
+                    }
+                    let file = p.string()?;
+                    p.ws();
+                    p.eat(b':')?;
+                    p.ws();
+                    p.eat(b'{')?;
+                    let rules = counts.entry(file).or_default();
+                    loop {
+                        p.ws();
+                        if p.try_eat(b'}') {
+                            break;
+                        }
+                        let rule = p.string()?;
+                        p.ws();
+                        p.eat(b':')?;
+                        p.ws();
+                        let n = p.number()?;
+                        rules.insert(rule, n);
+                        p.ws();
+                        if !p.try_eat(b',') {
+                            p.ws();
+                            p.eat(b'}')?;
+                            break;
+                        }
+                    }
+                    p.ws();
+                    if !p.try_eat(b',') {
+                        p.ws();
+                        p.eat(b'}')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown baseline key {other:?}")),
+        }
+        p.ws();
+        if !p.try_eat(b',') {
+            p.ws();
+            p.eat(b'}')?;
+            break;
+        }
+    }
+    if !version_seen {
+        return Err("baseline is missing the \"version\" key".into());
+    }
+    Ok(counts)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+    fn try_eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.try_eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "malformed baseline: expected {:?} at byte {}",
+                c as char, self.i
+            ))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("malformed baseline: unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err("malformed baseline: unsupported escape".into()),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!(
+                "malformed baseline: expected a number at byte {start}"
+            ));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "malformed baseline: bad number".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trips() {
+        let mut counts = Counts::new();
+        counts
+            .entry("crates/a/src/lib.rs".into())
+            .or_default()
+            .insert("L001".into(), 3);
+        counts
+            .entry("crates/a/src/lib.rs".into())
+            .or_default()
+            .insert("L002".into(), 1);
+        counts
+            .entry("src/lib.rs".into())
+            .or_default()
+            .insert("L004".into(), 2);
+        let text = render(&counts);
+        assert_eq!(parse(&text).map_err(|e| e.to_string()), Ok(counts));
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let counts = Counts::new();
+        assert_eq!(parse(&render(&counts)), Ok(counts));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected_with_a_message() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"version\": 2, \"violations\": {}}").is_err());
+        assert!(parse("{\"violations\": {}}").is_err(), "missing version");
+        assert!(parse("{\"version\": 1, \"violations\": {\"f\": {\"L001\": }}}").is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The four project lints, run over scrubbed code (see [`crate::scrub`]).
+//!
+//! * **L001** — `.unwrap()`, `.expect(…)` and `panic!` in non-test
+//!   library code. Test modules (`#[cfg(test)]`), `#[test]` functions and
+//!   the `tests/`/`benches/`/`examples/` trees are exempt.
+//! * **L002** — unchecked `+`/`*` where an operand is a memory-sum-ish
+//!   identifier (`…mem…`, `…bytes…`, `…footprint…`): such sums must use
+//!   `checked_add`/`checked_mul`, since capacity arithmetic overflowing
+//!   silently is exactly how an infeasible schedule gets accepted.
+//! * **L003** — `Ordering::Relaxed` on atomics: allowed only with an
+//!   inline waiver naming the reason, because a relaxed flag guarding
+//!   published data is the message-passing bug the model checker's
+//!   litmus test demonstrates.
+//! * **L004** — wall-clock or environment reads (`Instant::now`,
+//!   `SystemTime::now`, `env::var`, `env!`) inside the deterministic
+//!   engine/simulate paths, which must stay replayable byte-for-byte.
+//!
+//! Any rule can be waived for one site with a comment on the same line
+//! or the line above: `// lint: allow(L00x) <reason>`. A waiver without
+//! a reason does not count.
+
+use crate::scrub::Scrubbed;
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id, e.g. `"L001"`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets at which `word` occurs with identifier boundaries.
+fn word_positions(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let at = from + rel;
+        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = line[at + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+fn prev_non_space(line: &str, at: usize) -> Option<char> {
+    line[..at].chars().rev().find(|c| !c.is_whitespace())
+}
+
+fn next_non_space(line: &str, at: usize) -> Option<char> {
+    line[at..].chars().find(|c| !c.is_whitespace())
+}
+
+/// Lines covered by `#[cfg(test)]` / `#[test]` items, computed by brace
+/// matching over the scrubbed code (so braces in strings never confuse
+/// the depth counter).
+fn test_exempt_lines(code: &[String]) -> Vec<bool> {
+    let mut exempt = vec![false; code.len()];
+    let mut depth = 0usize;
+    let mut pending_attr = false;
+    let mut regions: Vec<usize> = Vec::new(); // entry depths of exempt blocks
+    for (line_no, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if !regions.is_empty() {
+                exempt[line_no] = true;
+            }
+            match c {
+                '#' => {
+                    // Read a `#[…]` attribute, brackets balanced.
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'[') {
+                        let mut level = 0usize;
+                        let mut content = String::new();
+                        while j < chars.len() {
+                            match chars[j] {
+                                '[' => level += 1,
+                                ']' => {
+                                    level -= 1;
+                                    if level == 0 {
+                                        break;
+                                    }
+                                }
+                                other => content.push(other),
+                            }
+                            j += 1;
+                        }
+                        let norm: String = content.chars().filter(|c| !c.is_whitespace()).collect();
+                        let cfg_test = norm.contains("cfg(")
+                            && !word_positions(&norm, "test").is_empty()
+                            && !norm.contains("not(test");
+                        if norm == "test" || cfg_test {
+                            pending_attr = true;
+                        }
+                        i = j;
+                    }
+                }
+                '{' => {
+                    if pending_attr {
+                        regions.push(depth);
+                        pending_attr = false;
+                        exempt[line_no] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if regions.last() == Some(&depth) {
+                        exempt[line_no] = true;
+                        regions.pop();
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use …;` — attribute spent without a body.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    exempt
+}
+
+fn has_waiver(scrubbed: &Scrubbed, line_no: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    let check = |s: &String| {
+        s.find(&marker)
+            .is_some_and(|at| !s[at + marker.len()..].trim().is_empty())
+    };
+    if scrubbed.comments.get(line_no).is_some_and(check) {
+        return true;
+    }
+    // Walk up through the contiguous comment block immediately above the
+    // line, so a waiver can start a multi-line explanation.
+    let mut k = line_no;
+    while k > 0 {
+        k -= 1;
+        let comment_only = scrubbed.code.get(k).is_some_and(|c| c.trim().is_empty())
+            && scrubbed
+                .comments
+                .get(k)
+                .is_some_and(|c| !c.trim().is_empty());
+        if !comment_only {
+            return false;
+        }
+        if scrubbed.comments.get(k).is_some_and(check) {
+            return true;
+        }
+    }
+    false
+}
+
+fn memory_ish(ident: &str) -> bool {
+    // Split the identifier into snake_case / CamelCase parts, so
+    // `used_mem`, `MemSize` and `bytesPerTask` all match while `member`
+    // or `remember` do not.
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    for c in ident.chars() {
+        if c == '_' || c.is_uppercase() {
+            if !cur.is_empty() {
+                parts.push(std::mem::take(&mut cur));
+            }
+            if c != '_' {
+                cur.push(c.to_ascii_lowercase());
+            }
+        } else {
+            cur.push(c);
+        }
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+        .iter()
+        .any(|p| matches!(p.as_str(), "mem" | "memory" | "bytes" | "footprint"))
+}
+
+/// Last identifier ending at or before byte `at`.
+fn ident_before(line: &str, at: usize) -> Option<String> {
+    let head = line[..at].trim_end();
+    let end = head.len();
+    let start = head
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident(*c))
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &head[start..end];
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then(|| ident.to_string())
+}
+
+/// First identifier starting at or after byte `at`.
+fn ident_after(line: &str, at: usize) -> Option<String> {
+    let tail = line[at..].trim_start();
+    let end = tail
+        .char_indices()
+        .take_while(|(_, c)| is_ident(*c))
+        .last()
+        .map(|(i, c)| i + c.len_utf8())?;
+    Some(tail[..end].to_string())
+}
+
+/// Runs every rule over one scrubbed file. `in_deterministic_path`
+/// enables L004 (the caller decides from the file's path).
+pub fn check_file(file: &str, scrubbed: &Scrubbed, in_deterministic_path: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let exempt = test_exempt_lines(&scrubbed.code);
+    for (line_no, line) in scrubbed.code.iter().enumerate() {
+        let mut push = |rule: &'static str, message: String| {
+            if !has_waiver(scrubbed, line_no, rule) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line_no + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if !exempt[line_no] {
+            // L001: panicking calls in library code.
+            for method in ["unwrap", "expect"] {
+                for at in word_positions(line, method) {
+                    if prev_non_space(line, at) == Some('.')
+                        && next_non_space(line, at + method.len()) == Some('(')
+                    {
+                        push(
+                            "L001",
+                            format!("`.{method}(…)` in non-test library code; return a `Result` or handle the `None`"),
+                        );
+                    }
+                }
+            }
+            for at in word_positions(line, "panic") {
+                if next_non_space(line, at + "panic".len()) == Some('!')
+                    && prev_non_space(line, at) != Some(':')
+                {
+                    push(
+                        "L001",
+                        "`panic!` in non-test library code; return an error instead".to_string(),
+                    );
+                }
+            }
+        }
+
+        // L002: unchecked arithmetic on memory sums.
+        for (at, c) in line.char_indices() {
+            if c != '+' && c != '*' {
+                continue;
+            }
+            // Binary uses only: the left neighbour must end an operand.
+            if !prev_non_space(line, at).is_some_and(|p| is_ident(p) || p == ')' || p == ']') {
+                continue;
+            }
+            // Skip `+=`-style? No: compound assignment is still unchecked.
+            // But skip `**`/`++` noise and `*/`-like remnants.
+            let operand_l = ident_before(line, at);
+            let operand_r = ident_after(line, at + 1);
+            let involved = [operand_l, operand_r]
+                .into_iter()
+                .flatten()
+                .any(|id| memory_ish(&id));
+            if involved {
+                push(
+                    "L002",
+                    format!("unchecked `{c}` on a memory-sum expression; use `checked_add`/`checked_mul` so capacity arithmetic cannot overflow silently"),
+                );
+            }
+        }
+
+        // L003: relaxed atomic ordering without a waiver.
+        for at in word_positions(line, "Relaxed") {
+            if line[..at].trim_end().ends_with("::") {
+                push(
+                    "L003",
+                    "`Ordering::Relaxed` without an inline `// lint: allow(L003) <reason>` waiver; relaxed flags that guard published data are the message-passing bug".to_string(),
+                );
+            }
+        }
+
+        // L004: nondeterminism in the deterministic engine/simulate paths.
+        if in_deterministic_path && !exempt[line_no] {
+            for needle in [
+                "Instant::now",
+                "SystemTime::now",
+                "env::var",
+                "env!",
+                "var_os",
+            ] {
+                if line.contains(needle) {
+                    push(
+                        "L004",
+                        format!("`{needle}` inside a deterministic engine/simulate path; these modules must be replayable byte-for-byte"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn run(source: &str) -> Vec<Violation> {
+        check_file("x.rs", &scrub(source), false)
+    }
+
+    fn rules(source: &str) -> Vec<&'static str> {
+        run(source).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn l001_catches_unwrap_expect_panic_but_not_strings_or_tests() {
+        assert_eq!(rules("let x = y.unwrap();\n"), vec!["L001"]);
+        assert_eq!(rules("let x = y.expect(\"m\");\n"), vec!["L001"]);
+        assert_eq!(rules("panic!(\"boom\");\n"), vec!["L001"]);
+        assert!(rules("let s = \"call .unwrap() and panic!\";\n").is_empty());
+        assert!(rules("// a comment about .unwrap()\n").is_empty());
+        assert!(rules("let x = y.unwrap_or(0);\n").is_empty());
+        assert!(rules("#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); }\n}\n").is_empty());
+        assert!(rules("#[test]\nfn t() { x.unwrap(); }\n").is_empty());
+        // Code after the test module is scanned again.
+        assert_eq!(
+            rules(
+                "#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n"
+            ),
+            vec!["L001"]
+        );
+    }
+
+    #[test]
+    fn l002_catches_memory_sums_only() {
+        assert_eq!(rules("let total = used_mem + task_mem;\n"), vec!["L002"]);
+        assert_eq!(rules("let b = n * bytes_per_task;\n"), vec!["L002"]);
+        assert!(rules("let t = time_a + time_b;\n").is_empty());
+        assert!(rules("let m = base_mem.checked_add(extra_mem);\n").is_empty());
+        assert!(
+            rules("let p = *mem_ref;\n").is_empty(),
+            "unary deref is not arithmetic"
+        );
+    }
+
+    #[test]
+    fn l003_requires_a_reasoned_waiver() {
+        assert_eq!(rules("flag.load(Ordering::Relaxed);\n"), vec!["L003"]);
+        assert!(rules("// lint: allow(L003) claim counter, RMW order suffices\nflag.load(Ordering::Relaxed);\n").is_empty());
+        // The waiver may start a multi-line comment block.
+        assert!(rules(
+            "// lint: allow(L003) claim counter only; the RMW modification\n// order alone makes claims unique.\nflag.load(Ordering::Relaxed);\n"
+        )
+        .is_empty());
+        assert!(
+            rules("flag.load(Ordering::Relaxed); // lint: allow(L003) counter only\n").is_empty()
+        );
+        // A waiver with no reason does not count.
+        assert_eq!(
+            rules("// lint: allow(L003)\nflag.load(Ordering::Relaxed);\n"),
+            vec!["L003"]
+        );
+        assert!(rules("flag.load(Ordering::Acquire);\n").is_empty());
+    }
+
+    #[test]
+    fn l004_only_fires_in_deterministic_paths() {
+        let source = "let t = Instant::now();\nlet v = std::env::var(\"X\");\n";
+        assert!(check_file("x.rs", &scrub(source), false).is_empty());
+        let hits = check_file("engine.rs", &scrub(source), true);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|v| v.rule == "L004"));
+    }
+}

@@ -1,0 +1,202 @@
+//! A lightweight Rust scrubber: separates source text into per-line
+//! *code* (with string/char-literal contents blanked and comments
+//! removed) and per-line *comment* text.
+//!
+//! The rules in [`crate::rules`] only ever match against the scrubbed
+//! code, so `"a string mentioning panic!()"` or `// an old unwrap()`
+//! can never produce a false positive, and waiver comments
+//! (`// lint: allow(L00x) reason`) are read back from the comment side.
+//!
+//! Handled: line comments (incl. `///` and `//!` doc comments), nested
+//! block comments, string literals with escapes, raw strings
+//! `r#"…"#` (any number of hashes, also `br#"…"#`), byte strings,
+//! char and byte-char literals, and lifetimes (`'a` is code, `'a'` is a
+//! blanked literal).
+
+/// Per-line code and comment views of one source file.
+pub struct Scrubbed {
+    /// Source code with comments stripped and literal contents blanked;
+    /// quotes are kept so `.expect("…")` scrubs to `.expect("")`.
+    pub code: Vec<String>,
+    /// Comment text (line and block) that appeared on each line.
+    pub comments: Vec<String>,
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(usize),
+    Str,
+    RawStr(usize),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scrubs one file. Total over arbitrary input: unterminated literals or
+/// comments simply swallow the rest of the file, which is the safe
+/// direction (no code is invented).
+pub fn scrub(source: &str) -> Scrubbed {
+    let chars: Vec<char> = source.chars().collect();
+    let n_lines = source.split('\n').count();
+    let mut code = vec![String::new(); n_lines];
+    let mut comments = vec![String::new(); n_lines];
+    let mut line = 0usize;
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code[line].push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let after = chars.get(i + 2).copied();
+                    if next.is_some_and(is_ident) && next != Some('\\') && after != Some('\'') {
+                        code[line].push('\'');
+                        i += 1; // the ident chars flow through as code
+                    } else {
+                        code[line].push_str("''");
+                        i += 1; // past the opening quote
+                        while i < chars.len() && chars[i] != '\'' {
+                            if chars[i] == '\n' {
+                                line += 1;
+                            }
+                            i += if chars[i] == '\\' { 2 } else { 1 };
+                        }
+                        i += 1; // past the closing quote
+                    }
+                } else if is_ident(c) && !c.is_ascii_digit() {
+                    let start = i;
+                    while i < chars.len() && is_ident(chars[i]) {
+                        i += 1;
+                    }
+                    let ident: String = chars[start..i].iter().collect();
+                    code[line].push_str(&ident);
+                    if ident == "r" || ident == "br" {
+                        // Possible raw string: r"…", r#"…"#, br##"…"##.
+                        let mut j = i;
+                        while chars.get(j) == Some(&'#') {
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            let hashes = j - i;
+                            code[line].push('"');
+                            mode = Mode::RawStr(hashes);
+                            i = j + 1;
+                        }
+                    }
+                } else {
+                    code[line].push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comments[line].push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comments[line].push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // An escaped newline (line continuation) still ends a line.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    code[line].push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                    code[line].push('"');
+                    mode = Mode::Code;
+                    i += hashes + 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    Scrubbed { code, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scrub;
+
+    #[test]
+    fn strings_and_comments_never_reach_the_code_side() {
+        let s = scrub(concat!(
+            "let x = \"panic!(.unwrap())\"; // old .expect() call\n",
+            "/* unwrap() in /* nested */ block */ let y = 1;\n",
+        ));
+        assert_eq!(s.code[0], "let x = \"\"; ");
+        assert!(s.comments[0].contains(".expect()"));
+        assert_eq!(s.code[1], " let y = 1;");
+        assert!(s.comments[1].contains("nested"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let s =
+            scrub("let r = r#\"has \"quotes\" and unwrap()\"#;\nlet c = '\\'';\nlet q = 'u';\n");
+        assert_eq!(s.code[0], "let r = r\"\";");
+        assert_eq!(s.code[1], "let c = '';");
+        assert_eq!(s.code[2], "let q = '';");
+    }
+
+    #[test]
+    fn lifetimes_stay_in_code() {
+        let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert_eq!(s.code[0], "fn f<'a>(x: &'a str) -> &'a str { x }");
+    }
+
+    #[test]
+    fn multiline_strings_track_line_numbers() {
+        let s = scrub("let x = \"line one\nline two\"; let y = 2;\n// done\n");
+        assert_eq!(s.code[0], "let x = \"");
+        assert_eq!(s.code[1], "\"; let y = 2;");
+        assert_eq!(s.comments[2], " done");
+    }
+}

@@ -5,9 +5,16 @@
 //! unnecessary). Spawned closures receive a `&Scope` like crossbeam's, so
 //! nested spawns work, and the outer `scope` call returns `Err` instead of
 //! unwinding when a spawned thread panics.
+//!
+//! Built with `RUSTFLAGS="--cfg microloom"`, the same API is backed by the
+//! vendored `microloom` model checker instead: every spawn/join becomes a
+//! scheduling decision and the checker explores all interleavings of the
+//! code running inside the scope. This is how `dts_core::pool` is model
+//! checked without diverging from the shipped implementation.
 
+#[cfg(not(microloom))]
 pub mod thread {
-    //! Scoped threads.
+    //! Scoped threads (std backend).
 
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -56,7 +63,65 @@ pub mod thread {
     }
 }
 
-#[cfg(test)]
+#[cfg(microloom)]
+pub mod thread {
+    //! Scoped threads (microloom model-checked backend).
+    //!
+    //! Same API as the std backend; usable only inside
+    //! `microloom::model()`, where every operation is a recorded
+    //! scheduling decision. `microloom::thread::Scope` is `Copy`
+    //! precisely so this wrapper can rebuild a `&Scope`-receiving
+    //! closure, keeping crossbeam's nested-spawn signature.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked thread.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope in which threads borrowing local state can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: microloom::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T>(microloom::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped model thread; the spawn is a scheduling
+        /// boundary of the calling thread.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins all spawned threads
+    /// (through the model scheduler) before returning. Returns `Err` if
+    /// `f` or any non-joined thread panicked — note that under microloom
+    /// any model-thread panic also fails the whole exploration.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            microloom::thread::scope(|s| f(&Scope { inner: *s }))
+        }))
+    }
+}
+
+#[cfg(all(test, not(microloom)))]
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
@@ -96,5 +161,35 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, 42);
+    }
+}
+
+#[cfg(all(test, microloom))]
+mod microloom_tests {
+    /// The microloom-backed scope preserves crossbeam's semantics inside
+    /// a model: borrowing spawns, result joins, nested spawns.
+    #[test]
+    fn scoped_threads_work_inside_a_model() {
+        microloom::model(|| {
+            let slots = std::sync::Mutex::new(vec![0u64; 4]);
+            let sum = super::thread::scope(|scope| {
+                let a = scope.spawn(|_| {
+                    slots.lock().unwrap()[0] = 1;
+                    1u64
+                });
+                let b = scope.spawn(|inner| {
+                    // Nested spawn through the scope argument.
+                    inner
+                        .spawn(|_| slots.lock().unwrap()[1] = 2)
+                        .join()
+                        .unwrap();
+                    2u64
+                });
+                a.join().unwrap() + b.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(sum, 3);
+            assert_eq!(&*slots.lock().unwrap(), &[1, 2, 0, 0]);
+        });
     }
 }

@@ -1,0 +1,299 @@
+//! Vendored loom-style interleaving model checker.
+//!
+//! `microloom` runs a closure over and over, exploring every schedule of
+//! the model threads it spawns (DFS over scheduling and stale-read
+//! decisions), in the spirit of the `loom` crate but std-only and small
+//! enough to vendor (the build image has no registry access, like the
+//! sibling `microcheck` shim).
+//!
+//! ```
+//! use microloom::sync::atomic::{AtomicUsize, Ordering};
+//! use microloom::sync::Arc;
+//!
+//! microloom::model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             microloom::thread::spawn(move || {
+//!                 counter.fetch_add(1, Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! # What is explored
+//!
+//! Model code must use [`sync::atomic::AtomicUsize`],
+//! [`sync::atomic::AtomicBool`], [`sync::Mutex`] and
+//! [`thread::spawn`] / [`thread::scope`] instead of the `std` types.
+//! Every operation on those types is a *scheduling boundary*: the checker
+//! decides which thread performs the next operation, and atomic loads
+//! additionally decide *which store they read* under a simplified C11
+//! memory model (per-object modification order, per-thread coherence
+//! floors, release views joined by acquire loads). `Relaxed` loads can
+//! therefore legally observe stale values, which is what distinguishes
+//! them from `Acquire`/`Release` pairs on real litmus tests.
+//!
+//! Exploration is exhaustive up to the configured bounds
+//! ([`Builder::max_preemptions`], [`Builder::max_ops`],
+//! [`Builder::max_executions`]) with sound state-hash pruning: a
+//! scheduling point whose full fingerprint (thread positions +
+//! observation history + views + store lists + mutex states + remaining
+//! preemption budget) has been scheduled from before is abandoned, since
+//! the earlier visit explores the same continuations.
+//!
+//! # Failure replay
+//!
+//! The first failing execution (assertion panic, explicit panic, detected
+//! deadlock, or op-budget blowout) aborts exploration. [`check`] returns
+//! the printable schedule as [`Failure::trace`]; [`model`] panics with
+//! it. Exploration order is deterministic, so the failing schedule — and
+//! its trace, byte for byte — is the same on every run.
+//!
+//! # Simplifications vs. C11 (and loom)
+//!
+//! * `SeqCst` is modeled as Acquire/Release that always reads the newest
+//!   store — stronger than C11's total SC order, never weaker.
+//! * RMWs read the newest store (atomicity) and continue release
+//!   sequences.
+//! * Non-atomic shared memory is not instrumented; share plain data via
+//!   [`sync::Mutex`] only.
+//! * A model that truly deadlocks on [`sync::Mutex`] cycles is reported,
+//!   but teardown of the failed execution may then hang on the underlying
+//!   OS mutexes; structure models so locks are released (the committed
+//!   models are lock-free).
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use rt::{DecisionRec, Engine, Limits};
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Engine>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(engine: Arc<Engine>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((engine, id)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The current model thread's engine handle and id. Panics when called
+/// outside [`model`] — microloom types must only be used by model code.
+pub(crate) fn ctx() -> (Arc<Engine>, usize) {
+    CTX.with(|c| {
+        c.borrow().clone().unwrap_or_else(|| {
+            panic!(
+                "microloom sync/thread types may only be used inside microloom::model(); \
+                 build the real types in non-model code via the cfg(microloom) facade"
+            )
+        })
+    })
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Statistics of a completed (all schedules passed) exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules executed (including pruned ones).
+    pub executions: usize,
+    /// Executions abandoned early because their state fingerprint was
+    /// already covered.
+    pub pruned: usize,
+    /// Largest number of branching decisions in any one schedule.
+    pub max_depth: usize,
+}
+
+/// A failing schedule found by the checker.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock description, …).
+    pub message: String,
+    /// Printable, deterministic replay of the failing schedule.
+    pub trace: String,
+    /// Branching decisions in the failing schedule.
+    pub decisions: usize,
+    /// Executions run before the failure was found.
+    pub executions: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// Exploration bounds. The defaults explore *all* interleavings (no
+/// preemption bound) with pruning on; set [`Builder::max_preemptions`]
+/// to cut the space on models with many operations — for most bugs two
+/// or three preemptions suffice (the loom/CHESS observation).
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Max context switches away from a still-runnable thread per
+    /// schedule; `None` = unbounded (fully exhaustive).
+    pub max_preemptions: Option<usize>,
+    /// Abort exploration after this many schedules.
+    pub max_executions: usize,
+    /// Fail any single schedule that exceeds this many operations
+    /// (catches unbounded spin loops, which DFS cannot enumerate).
+    pub max_ops: usize,
+    /// State-fingerprint pruning (sound for deterministic models; keep
+    /// on unless debugging the checker itself).
+    pub prune: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: None,
+            max_executions: 2_000_000,
+            max_ops: 20_000,
+            prune: true,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn max_preemptions(mut self, bound: usize) -> Self {
+        self.max_preemptions = Some(bound);
+        self
+    }
+
+    pub fn max_executions(mut self, cap: usize) -> Self {
+        self.max_executions = cap;
+        self
+    }
+
+    /// Explores every schedule of `f`. Returns the exploration [`Report`]
+    /// if all pass, or the first [`Failure`] with its replay trace.
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let visited: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let mut replay: Vec<DecisionRec> = Vec::new();
+        let mut report = Report::default();
+        loop {
+            if report.executions >= self.max_executions {
+                return Err(Failure {
+                    message: format!(
+                        "exploration exceeded max_executions = {} before covering every \
+                         schedule; raise the cap or bound preemptions",
+                        self.max_executions
+                    ),
+                    trace: String::new(),
+                    decisions: 0,
+                    executions: report.executions,
+                });
+            }
+            let limits = Limits {
+                max_preemptions: self.max_preemptions,
+                max_ops: self.max_ops,
+                prune: self.prune,
+            };
+            let engine = Engine::new(
+                replay.iter().map(|d| d.chosen).collect(),
+                Arc::clone(&visited),
+                limits,
+            );
+            let root_engine = Arc::clone(&engine);
+            let root_f = Arc::clone(&f);
+            let root = std::thread::Builder::new()
+                .name("microloom-t0".into())
+                .spawn(move || {
+                    set_ctx(Arc::clone(&root_engine), 0);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| root_f()));
+                    let panicked = outcome.err().map(|p| panic_message(p.as_ref()));
+                    root_engine.thread_finished(0, panicked);
+                    clear_ctx();
+                })
+                .expect("microloom: cannot spawn the model root thread");
+            // The wrapper caught everything, so this join cannot fail.
+            let _ = root.join();
+            engine.wait_all_finished();
+            let detached: Vec<_> = engine
+                .os_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+                .collect();
+            for handle in detached {
+                let _ = handle.join();
+            }
+            report.executions += 1;
+            let (decisions, failure, pruned) = engine.take_state();
+            if pruned {
+                report.pruned += 1;
+            }
+            report.max_depth = report.max_depth.max(decisions.len());
+            if let Some(info) = failure {
+                return Err(Failure {
+                    message: info.message.clone(),
+                    trace: rt::format_failure(&info, report.executions),
+                    decisions: info.decisions,
+                    executions: report.executions,
+                });
+            }
+            // DFS advance: bump the deepest decision with an untaken
+            // alternative; exploration is complete when none remains.
+            replay = decisions;
+            loop {
+                match replay.last_mut() {
+                    None => return Ok(report),
+                    Some(d) if d.chosen + 1 < d.n_alts => {
+                        d.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        replay.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Explores every schedule of `f` with the default [`Builder`]; panics
+/// with the deterministic replay trace if any schedule fails.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(failure) = Builder::new().check(f) {
+        panic!("{}", failure.trace);
+    }
+}
+
+/// [`Builder::check`] with the default bounds.
+pub fn check<F>(f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

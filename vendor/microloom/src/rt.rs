@@ -1,0 +1,792 @@
+//! The model-checking runtime: one [`Engine`] per explored execution.
+//!
+//! Every model thread is a real OS thread, but a token-passing scheduler
+//! (one mutex + condvar) ensures exactly one of them runs at a time. A
+//! thread arriving at a *boundary* (thread start, every sync operation,
+//! blocking points, thread exit) asks the scheduler which thread proceeds;
+//! each such choice is a recorded [`DecisionRec`], and the DFS in
+//! `lib.rs` re-runs the model with a longer replay prefix until every
+//! alternative at every decision has been taken.
+//!
+//! Shared memory is modeled C11-style: an atomic object is a list of
+//! stores, each optionally carrying the *release view* of the storing
+//! thread. A load may read any store at or after the thread's coherence
+//! floor for that object — so `Relaxed` loads can legally observe stale
+//! values, and only an `Acquire` load of a `Release` store joins the
+//! storer's view into the reader's. This is what lets the checker
+//! distinguish `Relaxed` from `Acquire`/`Release` on real litmus tests.
+//! Simplifications (documented in the crate docs): `SeqCst` is modeled as
+//! Acquire/Release plus always reading the newest store, and RMWs always
+//! read the newest store (atomicity) and extend release sequences.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+pub(crate) type ThreadId = usize;
+pub(crate) type ObjId = usize;
+
+/// One decision made during an execution: `chosen` out of `n_alts`
+/// alternatives. The DFS advances the deepest decision with an untaken
+/// alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DecisionRec {
+    pub chosen: usize,
+    pub n_alts: usize,
+}
+
+/// A thread's view of memory: for every atomic object, the index of the
+/// oldest store this thread may still read (its coherence floor).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub(crate) struct View {
+    seen: Vec<usize>,
+}
+
+impl View {
+    fn floor(&self, obj: ObjId) -> usize {
+        self.seen.get(obj).copied().unwrap_or(0)
+    }
+
+    fn raise(&mut self, obj: ObjId, store: usize) {
+        if self.seen.len() <= obj {
+            self.seen.resize(obj + 1, 0);
+        }
+        if self.seen[obj] < store {
+            self.seen[obj] = store;
+        }
+    }
+
+    pub(crate) fn join(&mut self, other: &View) {
+        if self.seen.len() < other.seen.len() {
+            self.seen.resize(other.seen.len(), 0);
+        }
+        for (mine, theirs) in self.seen.iter_mut().zip(other.seen.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// One store in an atomic object's modification order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Store {
+    value: u64,
+    /// The storing thread's view if the store (or the release sequence it
+    /// continues) was a `Release`; an `Acquire` load of this store joins it.
+    release_view: Option<View>,
+}
+
+#[derive(Debug)]
+struct AtomicObj {
+    label: &'static Location<'static>,
+    stores: Vec<Store>,
+}
+
+#[derive(Debug)]
+struct MutexObj {
+    label: &'static Location<'static>,
+    holder: Option<ThreadId>,
+    /// View of the last unlocking thread; joined by the next locker.
+    release_view: View,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Status {
+    /// Has work to do the moment the scheduler picks it.
+    Runnable,
+    /// Waiting for a thread to finish.
+    JoinedOn(ThreadId),
+    /// Waiting for a mutex to be released.
+    LockWait(ObjId),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    /// Scheduler boundaries this thread has passed (part of the state
+    /// fingerprint: a deterministic thread's local state is a function of
+    /// its position and everything it has observed).
+    op_count: usize,
+    /// Running fold of every value this thread has read.
+    observed: u64,
+    view: View,
+    /// Final view at exit, joined into any thread that joins on us.
+    exit_view: Option<View>,
+}
+
+/// Why an execution was declared failing.
+#[derive(Debug, Clone)]
+pub(crate) struct FailureInfo {
+    pub message: String,
+    pub trace: Vec<String>,
+    pub decisions: usize,
+    /// True when the panic happened after pruning abandoned branch
+    /// recording; the trace is still a real interleaving but the decision
+    /// list no longer replays it exactly.
+    pub during_free_run: bool,
+}
+
+pub(crate) struct EngState {
+    threads: Vec<ThreadState>,
+    active: ThreadId,
+    objects: Vec<AtomicObj>,
+    mutexes: Vec<MutexObj>,
+    /// Decisions made so far this execution.
+    pub(crate) decisions: Vec<DecisionRec>,
+    /// Prefix of choices to replay before exploring defaults.
+    replay: Vec<usize>,
+    preemptions: usize,
+    ops_executed: usize,
+    /// Human-readable event log of this execution, for failure replay.
+    trace: Vec<String>,
+    /// Set on the first panic/deadlock observed; never overwritten.
+    pub(crate) failure: Option<FailureInfo>,
+    /// When true the scheduler stops branching (and, on `free_for_all`,
+    /// stops gating) so the execution drains deterministically.
+    abandoned: bool,
+    free_for_all: bool,
+    /// True when this execution was cut by the state-hash prune.
+    pub(crate) pruned: bool,
+    /// Per-scope lists of spawned-but-unjoined children (see the scope
+    /// frame methods below).
+    frames: Vec<Vec<ThreadId>>,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct Limits {
+    pub max_preemptions: Option<usize>,
+    pub max_ops: usize,
+    pub prune: bool,
+}
+
+pub(crate) struct Engine {
+    st: Mutex<EngState>,
+    cv: Condvar,
+    limits: Limits,
+    /// State fingerprints seen across *all* executions of this model run.
+    visited: Arc<Mutex<HashSet<u64>>>,
+    /// OS handles of `microloom::thread::spawn` threads, drained by the
+    /// explorer after the execution completes.
+    pub(crate) os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Message used to unwind a thread that the scheduler has declared dead
+/// (deadlock) — recognized so it is not double-reported as a model panic.
+pub(crate) const DEADLOCK_PANIC: &str = "microloom: execution abandoned (deadlock)";
+
+impl Engine {
+    pub(crate) fn new(
+        replay: Vec<usize>,
+        visited: Arc<Mutex<HashSet<u64>>>,
+        limits: Limits,
+    ) -> Arc<Self> {
+        Arc::new(Engine {
+            st: Mutex::new(EngState {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    op_count: 0,
+                    observed: 0,
+                    view: View::default(),
+                    exit_view: None,
+                }],
+                active: 0,
+                objects: Vec::new(),
+                mutexes: Vec::new(),
+                decisions: Vec::new(),
+                replay,
+                preemptions: 0,
+                ops_executed: 0,
+                trace: Vec::new(),
+                failure: None,
+                abandoned: false,
+                free_for_all: false,
+                pruned: false,
+                frames: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            limits,
+            visited,
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn take_state(&self) -> (Vec<DecisionRec>, Option<FailureInfo>, bool) {
+        let st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        (st.decisions.clone(), st.failure.clone(), st.pruned)
+    }
+
+    // ---- scheduling core -------------------------------------------------
+
+    /// Picks `chosen` out of `n_alts` alternatives: from the replay prefix
+    /// while it lasts, the default (0) afterwards. Records the decision so
+    /// the explorer can branch later. Returns the default without
+    /// recording once the execution is abandoned.
+    fn choose(st: &mut EngState, n_alts: usize) -> usize {
+        // Forced choices are never recorded (and never consume a replay
+        // slot): the replay prefix holds branching decisions only, so a
+        // deterministic model re-run stays aligned with it.
+        if n_alts <= 1 || st.abandoned {
+            return 0;
+        }
+        let depth = st.decisions.len();
+        let chosen = if depth < st.replay.len() {
+            st.replay[depth].min(n_alts - 1)
+        } else {
+            0
+        };
+        st.decisions.push(DecisionRec { chosen, n_alts });
+        chosen
+    }
+
+    /// Fingerprint of everything that determines the future of a
+    /// deterministic model: per-thread positions + observation history +
+    /// views, every atomic's store list, mutex states, and the remaining
+    /// preemption budget.
+    fn state_hash(st: &EngState, limits: &Limits) -> u64 {
+        let mut h = DefaultHasher::new();
+        for t in &st.threads {
+            t.status.hash(&mut h);
+            t.op_count.hash(&mut h);
+            t.observed.hash(&mut h);
+            t.view.hash(&mut h);
+        }
+        for o in &st.objects {
+            o.stores.hash(&mut h);
+        }
+        for m in &st.mutexes {
+            m.holder.hash(&mut h);
+            m.release_view.hash(&mut h);
+        }
+        if let Some(bound) = limits.max_preemptions {
+            bound.saturating_sub(st.preemptions).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The scheduling boundary run by `me` before executing its next
+    /// operation: choose who proceeds, hand the token over if it is not
+    /// `me`, and block until the token comes back.
+    ///
+    /// Every boundary is a decision over the runnable threads (bounded by
+    /// the preemption budget). This is also where the state-hash prune
+    /// fires: once the same fingerprint has been scheduled from before,
+    /// the continuation is already covered by the earlier visit.
+    fn boundary(&self, me: ThreadId, desc: &str) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        if st.free_for_all {
+            return;
+        }
+        st.ops_executed += 1;
+        if st.ops_executed > self.limits.max_ops {
+            drop(st);
+            self.fail_here(
+                me,
+                format!(
+                    "execution exceeded {} operations — unbounded loop in the model? \
+                     (spin waits must be bounded; prefer join() over spinning)",
+                    self.limits.max_ops
+                ),
+            );
+            panic!("{DEADLOCK_PANIC}");
+        }
+        st.threads[me].op_count += 1;
+        // Prune: only in the exploration region (past the replay prefix),
+        // never while replaying toward the branch under investigation.
+        if self.limits.prune && !st.abandoned && st.decisions.len() >= st.replay.len() {
+            let fp = Self::state_hash(&st, &self.limits);
+            let first_visit = self
+                .visited
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(fp);
+            if !first_visit {
+                st.abandoned = true;
+                st.pruned = true;
+            }
+        }
+        let mut alts = Self::runnable_alts(&st, me);
+        if alts.is_empty() {
+            // No runnable thread anywhere: every other thread is blocked
+            // and `me` cannot continue either only if me is not runnable —
+            // but `me` reached this boundary, so it is runnable and always
+            // in `alts`. Unreachable; kept as a guard.
+            drop(st);
+            self.fail_here(me, "scheduler invariant violated".to_string());
+            panic!("{DEADLOCK_PANIC}");
+        }
+        if let Some(bound) = self.limits.max_preemptions {
+            if st.preemptions >= bound {
+                alts.truncate(1);
+            }
+        }
+        let chosen = alts[Self::choose(&mut st, alts.len())];
+        if chosen != me {
+            st.preemptions += 1;
+            st.active = chosen;
+            self.cv.notify_all();
+            while st.active != me && !st.free_for_all {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Recorded after the token is secured, so the printed schedule
+        // lists operations in the order they actually execute.
+        st.trace.push(format!("t{me} {desc}"));
+    }
+
+    /// Runnable threads ordered current-first (default = keep running, no
+    /// preemption), then by id.
+    fn runnable_alts(st: &EngState, me: ThreadId) -> Vec<ThreadId> {
+        let mut alts = Vec::new();
+        if st.threads[me].status == Status::Runnable {
+            alts.push(me);
+        }
+        for (id, t) in st.threads.iter().enumerate() {
+            if id != me && t.status == Status::Runnable {
+                alts.push(id);
+            }
+        }
+        alts
+    }
+
+    /// Hands the token to some runnable thread while `me` is blocked or
+    /// exiting. Declares a deadlock if nothing is runnable but threads
+    /// remain unfinished.
+    fn hand_off(&self, st: &mut EngState, _me: ThreadId) -> Result<(), String> {
+        let mut alts: Vec<ThreadId> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(id, _)| id)
+            .collect();
+        if alts.is_empty() {
+            if st.threads.iter().any(|t| t.status != Status::Finished) {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t.status, Status::Finished | Status::Runnable))
+                    .map(|(id, t)| format!("t{id} {:?}", t.status))
+                    .collect();
+                return Err(format!(
+                    "deadlock: no runnable thread ({})",
+                    stuck.join(", ")
+                ));
+            }
+            return Ok(()); // everything finished; nobody needs the token
+        }
+        // Blocking hand-offs are not preemptions (the current thread cannot
+        // continue), but which waiter resumes is still a choice to explore.
+        if alts.len() > 1 {
+            let chosen = Self::choose(st, alts.len());
+            alts.swap(0, chosen);
+        }
+        st.active = alts[0];
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks `me` with `status` until `wake(state)` says it can proceed.
+    fn block_until(
+        &self,
+        me: ThreadId,
+        status: Status,
+        desc: &str,
+        mut ready: impl FnMut(&EngState) -> bool,
+    ) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.free_for_all || ready(&st) {
+                st.threads[me].status = Status::Runnable;
+                return;
+            }
+            st.trace.push(format!("t{me} blocks: {desc}"));
+            st.threads[me].status = status;
+            if let Err(deadlock) = self.hand_off(&mut st, me) {
+                drop(st);
+                self.fail_here(me, deadlock);
+                panic!("{DEADLOCK_PANIC}");
+            }
+            while st.active != me && !st.free_for_all {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.threads[me].status = Status::Runnable;
+        }
+    }
+
+    /// Records the first failure with the trace so far and switches to
+    /// free-for-all teardown so every OS thread can drain.
+    pub(crate) fn fail_here(&self, me: ThreadId, message: String) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        if st.failure.is_none() {
+            st.trace.push(format!("t{me} FAILS: {message}"));
+            st.failure = Some(FailureInfo {
+                message,
+                trace: st.trace.clone(),
+                decisions: st.decisions.len(),
+                during_free_run: st.abandoned,
+            });
+        }
+        st.free_for_all = true;
+        self.cv.notify_all();
+    }
+
+    // ---- thread lifecycle ------------------------------------------------
+
+    /// Registers a child thread spawned by `parent`; the child starts
+    /// runnable (its first schedulable unit is "start running") and
+    /// inherits the parent's view, as a real spawn synchronizes-with the
+    /// child's start.
+    pub(crate) fn register_thread(&self, parent: ThreadId) -> ThreadId {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.threads.len();
+        let view = st.threads[parent].view.clone();
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            op_count: 0,
+            observed: 0,
+            view,
+            exit_view: None,
+        });
+        st.trace.push(format!("t{parent} spawns t{id}"));
+        id
+    }
+
+    /// Parks a freshly spawned OS thread until the scheduler first picks
+    /// it. The spawn itself was the parent's boundary; the child's first
+    /// schedulable step begins here.
+    pub(crate) fn wait_first_schedule(&self, me: ThreadId) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        while st.active != me && !st.free_for_all {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The parent's spawn boundary: a scheduling point followed by child
+    /// registration.
+    pub(crate) fn spawn_boundary(&self, me: ThreadId) -> ThreadId {
+        self.boundary(me, "spawn");
+        self.register_thread(me)
+    }
+
+    pub(crate) fn thread_finished(&self, me: ThreadId, panicked: Option<String>) {
+        if let Some(message) = panicked {
+            if message != DEADLOCK_PANIC {
+                self.fail_here(me, format!("panic: {message}"));
+            }
+        }
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads[me].status = Status::Finished;
+        st.threads[me].exit_view = Some(st.threads[me].view.clone());
+        st.trace.push(format!("t{me} exits"));
+        // Joiners become runnable again; their block_until loop rechecks
+        // the finished condition once scheduled.
+        for t in st.threads.iter_mut() {
+            if t.status == Status::JoinedOn(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if st.free_for_all {
+            self.cv.notify_all();
+            return;
+        }
+        let deadlock = self.hand_off(&mut st, me).err();
+        // Always notify: joiners made runnable above and the explorer's
+        // wait_all_finished both key off this exit.
+        self.cv.notify_all();
+        if let Some(deadlock) = deadlock {
+            drop(st);
+            self.fail_here(me, deadlock);
+            // The thread is exiting anyway; no need to unwind.
+        }
+    }
+
+    // ---- scope frames ----------------------------------------------------
+    //
+    // A scope's not-yet-joined children, tracked engine-side so the
+    // `thread::Scope` handle can stay `Copy` (which is what lets the
+    // vendored crossbeam stub wrap it with crossbeam's own two-lifetime
+    // API, nested spawns included).
+
+    pub(crate) fn new_frame(&self) -> usize {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.frames.push(Vec::new());
+        st.frames.len() - 1
+    }
+
+    pub(crate) fn frame_push(&self, frame: usize, child: ThreadId) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.frames[frame].push(child);
+    }
+
+    pub(crate) fn frame_remove(&self, frame: usize, child: ThreadId) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.frames[frame].retain(|&id| id != child);
+    }
+
+    pub(crate) fn frame_take(&self, frame: usize) -> Vec<ThreadId> {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut st.frames[frame])
+    }
+
+    /// Blocks the explorer until every registered thread has logically
+    /// finished — detached (`microloom::thread::spawn`) threads may still
+    /// be draining after the root closure returns.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        while st.threads.iter().any(|t| t.status != Status::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Scheduler half of `join`: block until `target` has logically
+    /// finished, then adopt its exit view (join synchronizes-with exit).
+    pub(crate) fn join_thread(&self, me: ThreadId, target: ThreadId) {
+        self.boundary(me, &format!("join t{target}"));
+        self.block_until(
+            me,
+            Status::JoinedOn(target),
+            &format!("join t{target}"),
+            |st| st.threads[target].status == Status::Finished,
+        );
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(exit_view) = st.threads[target].exit_view.clone() {
+            st.threads[me].view.join(&exit_view);
+        }
+    }
+
+    pub(crate) fn yield_now(&self, me: ThreadId) {
+        self.boundary(me, "yield");
+    }
+
+    // ---- atomics ---------------------------------------------------------
+
+    pub(crate) fn new_atomic(&self, initial: u64, label: &'static Location<'static>) -> ObjId {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.objects.len();
+        st.objects.push(AtomicObj {
+            label,
+            stores: vec![Store {
+                value: initial,
+                release_view: None,
+            }],
+        });
+        // Creation is not a scheduling boundary (no other thread can refer
+        // to the object yet), but the creator must not later read stores
+        // older than the initializing one.
+        let creator = st.active;
+        st.threads[creator].view.raise(id, 0);
+        id
+    }
+
+    fn label_of(st: &EngState, obj: ObjId) -> String {
+        let l = st.objects[obj].label;
+        let file = l.file().rsplit('/').next().unwrap_or(l.file());
+        format!("{}:{}", file, l.line())
+    }
+
+    fn fold_observed(st: &mut EngState, me: ThreadId, value: u64) {
+        let mut h = DefaultHasher::new();
+        st.threads[me].observed.hash(&mut h);
+        value.hash(&mut h);
+        st.threads[me].observed = h.finish();
+    }
+
+    /// An atomic load: may read any store at or after the thread's
+    /// coherence floor. Which one is a recorded decision (newest first, so
+    /// the default execution behaves like sequential consistency).
+    /// `SeqCst` always reads the newest store (a sound over-approximation
+    /// of C11 that keeps the model small).
+    pub(crate) fn atomic_load(
+        &self,
+        me: ThreadId,
+        obj: ObjId,
+        ordering: Ordering,
+        op: &str,
+    ) -> u64 {
+        self.boundary(me, &format!("{op}.load({ordering:?})"));
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        let newest = st.objects[obj].stores.len() - 1;
+        let floor = st.threads[me].view.floor(obj).min(newest);
+        let candidates = newest - floor; // extra (stale) alternatives
+        let chosen = if candidates > 0 && !matches!(ordering, Ordering::SeqCst) {
+            let pick = Self::choose(&mut st, candidates + 1);
+            newest - pick
+        } else {
+            newest
+        };
+        let store = st.objects[obj].stores[chosen].clone();
+        if chosen < newest {
+            let label = Self::label_of(&st, obj);
+            st.trace.push(format!(
+                "t{me} … reads stale store #{chosen} of {newest} ({} = {})",
+                label, store.value
+            ));
+        }
+        st.threads[me].view.raise(obj, chosen);
+        if matches!(
+            ordering,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            if let Some(rv) = &store.release_view {
+                let rv = rv.clone();
+                st.threads[me].view.join(&rv);
+            }
+        }
+        Self::fold_observed(&mut st, me, store.value);
+        store.value
+    }
+
+    /// An atomic store appended to the modification order. `Release` (and
+    /// stronger) attaches the storing thread's view for `Acquire` loads to
+    /// join; a `Relaxed` store publishes nothing.
+    pub(crate) fn atomic_store(
+        &self,
+        me: ThreadId,
+        obj: ObjId,
+        value: u64,
+        ordering: Ordering,
+        op: &str,
+    ) {
+        self.boundary(me, &format!("{op}.store({value}, {ordering:?})"));
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        let release_view = if matches!(
+            ordering,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            Some(st.threads[me].view.clone())
+        } else {
+            None
+        };
+        let index = st.objects[obj].stores.len();
+        st.objects[obj].stores.push(Store {
+            value,
+            release_view,
+        });
+        st.threads[me].view.raise(obj, index);
+    }
+
+    /// A read-modify-write: always reads the newest store (atomicity),
+    /// applies `f`, appends the result. Continues the release sequence of
+    /// the store it replaces, so an `Acquire` load of a `Relaxed` RMW
+    /// still synchronizes with the original `Release` store.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: ThreadId,
+        obj: ObjId,
+        ordering: Ordering,
+        op: &str,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        self.boundary(me, &format!("{op}({ordering:?})"));
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        let newest = st.objects[obj].stores.len() - 1;
+        let prev = st.objects[obj].stores[newest].clone();
+        st.threads[me].view.raise(obj, newest);
+        if matches!(
+            ordering,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            if let Some(rv) = &prev.release_view {
+                let rv = rv.clone();
+                st.threads[me].view.join(&rv);
+            }
+        }
+        Self::fold_observed(&mut st, me, prev.value);
+        if let Some(next) = f(prev.value) {
+            let mut release_view = prev.release_view.clone();
+            if matches!(
+                ordering,
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+            ) {
+                let mut view = st.threads[me].view.clone();
+                if let Some(rv) = &release_view {
+                    view.join(rv);
+                }
+                release_view = Some(view);
+            }
+            let index = st.objects[obj].stores.len();
+            st.objects[obj].stores.push(Store {
+                value: next,
+                release_view,
+            });
+            st.threads[me].view.raise(obj, index);
+        }
+        prev.value
+    }
+
+    // ---- mutexes ---------------------------------------------------------
+
+    pub(crate) fn new_mutex(&self, label: &'static Location<'static>) -> ObjId {
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexObj {
+            label,
+            holder: None,
+            release_view: View::default(),
+        });
+        id
+    }
+
+    pub(crate) fn mutex_lock(&self, me: ThreadId, obj: ObjId) {
+        self.boundary(me, &format!("lock(m{obj})"));
+        loop {
+            self.block_until(me, Status::LockWait(obj), &format!("lock(m{obj})"), |st| {
+                st.mutexes[obj].holder.is_none()
+            });
+            let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+            if st.mutexes[obj].holder.is_none() || st.free_for_all {
+                st.mutexes[obj].holder = Some(me);
+                let rv = st.mutexes[obj].release_view.clone();
+                st.threads[me].view.join(&rv);
+                let label = Self::label_of_mutex(&st, obj);
+                st.trace.push(format!("t{me} acquires mutex {label}"));
+                return;
+            }
+            // Lost the race to another woken waiter; block again.
+        }
+    }
+
+    fn label_of_mutex(st: &EngState, obj: ObjId) -> String {
+        let l = st.mutexes[obj].label;
+        let file = l.file().rsplit('/').next().unwrap_or(l.file());
+        format!("{}:{}", file, l.line())
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: ThreadId, obj: ObjId) {
+        self.boundary(me, &format!("unlock(m{obj})"));
+        let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.mutexes[obj].holder = None;
+        st.mutexes[obj].release_view = st.threads[me].view.clone();
+        // Lock waiters become runnable again; the next boundary decides
+        // which of them (if any) takes the lock first.
+        for t in st.threads.iter_mut() {
+            if t.status == Status::LockWait(obj) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// Formats a failure as the printable, deterministic replay trace.
+pub(crate) fn format_failure(info: &FailureInfo, executions: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "microloom: model failed after {executions} execution(s); {} decision(s) in the failing schedule{}\n",
+        info.decisions,
+        if info.during_free_run {
+            " (failure surfaced during a pruned free-run; the schedule below is real but not replayed decision-by-decision)"
+        } else {
+            ""
+        }
+    ));
+    out.push_str(&format!("failure: {}\n", info.message));
+    out.push_str("failing schedule:\n");
+    for (i, line) in info.trace.iter().enumerate() {
+        out.push_str(&format!("  #{i:<3} {line}\n"));
+    }
+    out
+}

@@ -1,0 +1,197 @@
+//! Model-checked stand-ins for `std::sync` types.
+//!
+//! Drop-in (method-compatible subset) replacements whose every operation
+//! is a scheduling + memory-model event in the exploration. Construct
+//! them only inside [`crate::model`] — construction outside a model
+//! panics, so a mis-wired `cfg(microloom)` facade fails loudly instead of
+//! silently skipping the checking.
+
+use crate::rt::ObjId;
+use std::panic::Location;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Model-checked atomics (`std::sync::atomic` layout).
+
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Model-checked `AtomicUsize`. Values are modeled as `u64`, matching
+    /// the 64-bit targets the workspace runs on.
+    pub struct AtomicUsize {
+        engine: Arc<crate::rt::Engine>,
+        obj: ObjId,
+    }
+
+    impl AtomicUsize {
+        #[track_caller]
+        pub fn new(value: usize) -> Self {
+            let (engine, _) = crate::ctx();
+            let obj = engine.new_atomic(value as u64, Location::caller());
+            AtomicUsize { engine, obj }
+        }
+
+        pub fn load(&self, ordering: Ordering) -> usize {
+            let (_, me) = crate::ctx();
+            self.engine.atomic_load(me, self.obj, ordering, "usize") as usize
+        }
+
+        pub fn store(&self, value: usize, ordering: Ordering) {
+            let (_, me) = crate::ctx();
+            self.engine
+                .atomic_store(me, self.obj, value as u64, ordering, "usize");
+        }
+
+        pub fn fetch_add(&self, value: usize, ordering: Ordering) -> usize {
+            let (_, me) = crate::ctx();
+            self.engine
+                .atomic_rmw(me, self.obj, ordering, "usize.fetch_add", |old| {
+                    Some(old.wrapping_add(value as u64))
+                }) as usize
+        }
+
+        pub fn fetch_sub(&self, value: usize, ordering: Ordering) -> usize {
+            let (_, me) = crate::ctx();
+            self.engine
+                .atomic_rmw(me, self.obj, ordering, "usize.fetch_sub", |old| {
+                    Some(old.wrapping_sub(value as u64))
+                }) as usize
+        }
+
+        pub fn swap(&self, value: usize, ordering: Ordering) -> usize {
+            let (_, me) = crate::ctx();
+            self.engine
+                .atomic_rmw(me, self.obj, ordering, "usize.swap", |_| Some(value as u64))
+                as usize
+        }
+
+        /// `compare_exchange` modeled with a single `success` ordering (a
+        /// failed exchange is a pure load at the same strength).
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            success: Ordering,
+            _failure: Ordering,
+        ) -> Result<usize, usize> {
+            let (_, me) = crate::ctx();
+            let observed =
+                self.engine
+                    .atomic_rmw(me, self.obj, success, "usize.compare_exchange", |old| {
+                        (old == current as u64).then_some(new as u64)
+                    }) as usize;
+            if observed == current {
+                Ok(observed)
+            } else {
+                Err(observed)
+            }
+        }
+    }
+
+    /// Model-checked `AtomicBool`.
+    pub struct AtomicBool {
+        engine: Arc<crate::rt::Engine>,
+        obj: ObjId,
+    }
+
+    impl AtomicBool {
+        #[track_caller]
+        pub fn new(value: bool) -> Self {
+            let (engine, _) = crate::ctx();
+            let obj = engine.new_atomic(u64::from(value), Location::caller());
+            AtomicBool { engine, obj }
+        }
+
+        pub fn load(&self, ordering: Ordering) -> bool {
+            let (_, me) = crate::ctx();
+            self.engine.atomic_load(me, self.obj, ordering, "bool") != 0
+        }
+
+        pub fn store(&self, value: bool, ordering: Ordering) {
+            let (_, me) = crate::ctx();
+            self.engine
+                .atomic_store(me, self.obj, u64::from(value), ordering, "bool");
+        }
+
+        pub fn swap(&self, value: bool, ordering: Ordering) -> bool {
+            let (_, me) = crate::ctx();
+            self.engine
+                .atomic_rmw(me, self.obj, ordering, "bool.swap", |_| {
+                    Some(u64::from(value))
+                })
+                != 0
+        }
+    }
+}
+
+pub use atomic::{AtomicBool, AtomicUsize};
+
+/// Model-checked mutex. Lock acquisition is a blocking scheduling event;
+/// acquiring joins the previous unlocker's view (lock/unlock
+/// synchronize), and the stored data sits behind a real `std` mutex so
+/// teardown of failed executions stays data-race free.
+///
+/// No poisoning: `lock` returns the guard directly, like `parking_lot`
+/// (and the vendored stub of it) — a panicking model thread already
+/// fails the whole exploration.
+pub struct Mutex<T> {
+    engine: Arc<crate::rt::Engine>,
+    obj: ObjId,
+    data: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        let (engine, _) = crate::ctx();
+        let obj = engine.new_mutex(Location::caller());
+        Mutex {
+            engine,
+            obj,
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (_, me) = crate::ctx();
+        self.engine.mutex_lock(me, self.obj);
+        MutexGuard {
+            inner: Some(self.data.lock().unwrap_or_else(|e| e.into_inner())),
+            lock: self,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data before the logical unlock wakes any waiter.
+        self.inner = None;
+        let (_, me) = crate::ctx();
+        self.lock.engine.mutex_unlock(me, self.lock.obj);
+    }
+}

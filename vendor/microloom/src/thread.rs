@@ -1,0 +1,165 @@
+//! Model-checked stand-ins for `std::thread` spawning.
+//!
+//! Model threads are real OS threads gated by the scheduler, so exactly
+//! one runs at a time and every hand-off is a recorded decision.
+//! [`scope`] mirrors `std::thread::scope` (which the vendored `crossbeam`
+//! stub wraps under `cfg(microloom)`), [`spawn`] mirrors
+//! `std::thread::spawn` for `'static` closures.
+
+use crate::rt::Engine;
+use crate::{clear_ctx, ctx, panic_message, set_ctx};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// A decision point with no memory effect: lets the scheduler interleave
+/// here, like `std::thread::yield_now` gives the OS a chance to.
+pub fn yield_now() {
+    let (engine, me) = ctx();
+    engine.yield_now(me);
+}
+
+/// Handle to a detached model thread; [`JoinHandle::join`] returns the
+/// closure's result or the panic payload, like `std`.
+pub struct JoinHandle<T> {
+    engine: Arc<Engine>,
+    id: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = ctx();
+        self.engine.join_thread(me, self.id);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("microloom: joined thread left no result")
+    }
+}
+
+/// Spawns a `'static` model thread. The spawn itself is a scheduling
+/// boundary of the parent; the child starts whenever the exploration
+/// schedules it and inherits the parent's memory view (spawn
+/// synchronizes-with thread start).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (engine, me) = ctx();
+    let id = engine.spawn_boundary(me);
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let child_engine = Arc::clone(&engine);
+    let os_handle = std::thread::Builder::new()
+        .name(format!("microloom-t{id}"))
+        .spawn(move || {
+            set_ctx(Arc::clone(&child_engine), id);
+            child_engine.wait_first_schedule(id);
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            let panicked = outcome.as_ref().err().map(|p| panic_message(p.as_ref()));
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            child_engine.thread_finished(id, panicked);
+            clear_ctx();
+        })
+        .expect("microloom: cannot spawn a model thread");
+    engine
+        .os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(os_handle);
+    JoinHandle { engine, id, result }
+}
+
+/// A scope in which borrowing model threads can be spawned; mirrors
+/// `std::thread::Scope`. `Copy`, like a `&std::thread::Scope`, so
+/// wrappers (the vendored crossbeam stub) can rebuild scope values inside
+/// spawned closures and support nested spawns. The engine handle and the
+/// scope's pending-join list live in the engine, looked up via the
+/// thread-local context and the `frame` index.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    frame: usize,
+}
+
+/// Handle to a thread spawned inside a [`Scope`]; mirrors
+/// `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    id: usize,
+    frame: usize,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let (engine, me) = ctx();
+        engine.frame_remove(self.frame, self.id);
+        engine.join_thread(me, self.id);
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let (engine, me) = ctx();
+        let id = engine.spawn_boundary(me);
+        engine.frame_push(self.frame, id);
+        let child_engine = Arc::clone(&engine);
+        let inner = self.inner.spawn(move || {
+            set_ctx(Arc::clone(&child_engine), id);
+            child_engine.wait_first_schedule(id);
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            let panicked = outcome.as_ref().err().map(|p| panic_message(p.as_ref()));
+            child_engine.thread_finished(id, panicked);
+            clear_ctx();
+            match outcome {
+                Ok(value) => value,
+                // Re-raise so std's scope propagates the panic to an
+                // (eventual) join or the scope exit, exactly like a real
+                // scoped thread; the failure is already recorded.
+                Err(payload) => resume_unwind(payload),
+            }
+        });
+        ScopedJoinHandle {
+            inner,
+            id,
+            frame: self.frame,
+        }
+    }
+}
+
+/// Mirrors `std::thread::scope`: runs `f` with a [`Scope`], joining every
+/// spawned thread (through the scheduler) before returning.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let (engine, me) = ctx();
+    let frame = engine.new_frame();
+    std::thread::scope(move |inner| {
+        let scope = Scope { inner, frame };
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        if let Err(payload) = &outcome {
+            // Record now (first failure wins) and switch to free-for-all,
+            // so the children below drain instead of waiting for a token
+            // the unwinding owner would never hand out.
+            engine.fail_here(me, format!("panic: {}", panic_message(payload.as_ref())));
+        }
+        // Logically join children the closure never joined, so std's
+        // implicit OS-level join below cannot block a thread the
+        // scheduler still considers runnable.
+        for id in engine.frame_take(frame) {
+            engine.join_thread(me, id);
+        }
+        match outcome {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
