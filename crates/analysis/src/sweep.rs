@@ -209,6 +209,7 @@ mod tests {
             kernel: "HF".into(),
             rank: 999,
             tasks: Vec::new(),
+            model: None,
         };
         let config = SweepConfig {
             heuristics: vec![Heuristic::OS],

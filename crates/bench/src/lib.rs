@@ -151,6 +151,33 @@ pub fn micro_instance() -> Instance {
     dts_core::instances::table3()
 }
 
+/// Builds an `n_tasks`-task instance by tiling a kernel's first bench trace
+/// (the real per-task time/memory distribution of the chemistry workload)
+/// until the target size is reached, at a capacity of `factor · mc`. Used
+/// by the scale tiers of the overlap-strategy benchmarks, where synthetic
+/// uniform instances would hide the duplex/stream contention patterns of
+/// the real traces.
+pub fn tiled_trace_instance(kernel: Kernel, n_tasks: usize, factor: f64) -> Result<Instance> {
+    let base = bench_traces(kernel)
+        .into_iter()
+        .find(|t| !t.is_empty())
+        .ok_or_else(|| CoreError::Internal("bench suite produced no non-empty trace".into()))?;
+    let tasks = base
+        .tasks
+        .iter()
+        .cycle()
+        .take(n_tasks)
+        .cloned()
+        .collect::<Vec<_>>();
+    let tiled = Trace {
+        kernel: base.kernel.clone(),
+        rank: base.rank,
+        tasks,
+        model: None,
+    };
+    tiled.to_instance_scaled(factor)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -191,6 +191,7 @@ pub fn generate_ccsd_trace(
         kernel: "CCSD".into(),
         rank,
         tasks,
+        model: None,
     }
 }
 

@@ -149,6 +149,7 @@ pub fn generate_hf_trace(
         kernel: "HF".into(),
         rank,
         tasks,
+        model: None,
     }
 }
 

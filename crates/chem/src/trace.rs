@@ -6,7 +6,7 @@
 //! exactly the information the paper extracts from its NWChem runs.
 
 use dts_core::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -38,7 +38,7 @@ pub struct TraceTask {
 }
 
 /// A per-process trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Kernel that produced the trace (`"HF"` or `"CCSD"`).
     pub kernel: String,
@@ -46,6 +46,42 @@ pub struct Trace {
     pub rank: usize,
     /// The independent tasks seen by this process.
     pub tasks: Vec<TraceTask>,
+    /// Execution model the trace targets (stamped by `dts generate
+    /// --model`); absent means the paper's explicit half-duplex link.
+    /// Threaded into every instance built from the trace.
+    pub model: Option<ExecutionModel>,
+}
+
+// Hand-written (de)serialization so the `model` key is omitted when absent
+// and optional when read: trace files written before the execution-model
+// layer existed keep loading unchanged.
+impl Serialize for Trace {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("kernel".to_string(), self.kernel.to_value()),
+            ("rank".to_string(), self.rank.to_value()),
+            ("tasks".to_string(), self.tasks.to_value()),
+        ];
+        if let Some(model) = &self.model {
+            fields.push(("model".to_string(), model.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Trace {
+    fn from_value(value: &Value) -> std::result::Result<Self, SerdeError> {
+        let model = match value.field("model") {
+            Ok(v) => Option::<ExecutionModel>::from_value(v)?,
+            Err(_) => None,
+        };
+        Ok(Trace {
+            kernel: Deserialize::from_value(value.field("kernel")?)?,
+            rank: Deserialize::from_value(value.field("rank")?)?,
+            tasks: Deserialize::from_value(value.field("tasks")?)?,
+            model,
+        })
+    }
 }
 
 impl Trace {
@@ -66,7 +102,8 @@ impl Trace {
     }
 
     /// Converts the trace into a scheduling [`Instance`] with the given
-    /// memory capacity.
+    /// memory capacity. A model carried by the trace is attached to the
+    /// instance, so every executor and heuristic honors it.
     pub fn to_instance(&self, capacity: MemSize) -> Result<Instance> {
         let tasks = self
             .tasks
@@ -80,11 +117,15 @@ impl Trace {
                 )
             })
             .collect();
-        Instance::with_label(
+        let instance = Instance::with_label(
             tasks,
             capacity,
             format!("{}-rank{}", self.kernel, self.rank),
-        )
+        )?;
+        match self.model {
+            Some(model) => instance.with_model(model),
+            None => Ok(instance),
+        }
     }
 
     /// Converts the trace into an instance whose capacity is `factor · mc`
@@ -156,6 +197,7 @@ mod tests {
                     mem_bytes: 176_128,
                 },
             ],
+            model: None,
         }
     }
 
@@ -214,6 +256,32 @@ mod tests {
         let back = Trace::from_json(&json).unwrap();
         assert_eq!(trace, back);
         assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn model_is_optional_in_json_and_threads_into_instances() {
+        // Model-less traces serialize without a `model` key, so trace files
+        // from before the execution-model layer keep loading unchanged...
+        let mut trace = sample();
+        let json = trace.to_json().unwrap();
+        assert!(!json.contains("model"));
+        assert_eq!(Trace::from_json(&json).unwrap().model, None);
+        let inst = trace.to_instance_scaled(1.5).unwrap();
+        assert_eq!(inst.model(), ExecutionModel::Explicit);
+
+        // ...while a stamped model round-trips and lands on the instance.
+        trace.model = Some(ExecutionModel::Streams { k: 4 });
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
+        assert_eq!(back.model, Some(ExecutionModel::Streams { k: 4 }));
+        let inst = back.to_instance_scaled(1.5).unwrap();
+        assert_eq!(inst.model(), ExecutionModel::Streams { k: 4 });
+
+        // Invalid stamped models surface as errors, not panics.
+        trace.model = Some(ExecutionModel::Streams { k: 0 });
+        assert!(matches!(
+            trace.to_instance_scaled(1.5),
+            Err(CoreError::InvalidExecutionModel(_))
+        ));
     }
 
     #[test]

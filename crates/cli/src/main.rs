@@ -8,6 +8,10 @@
 //!   characterization of a trace;
 //! * `dts run <trace.json> <heuristic> [factor]` — run one heuristic on a
 //!   trace at a memory capacity of `factor · mc` and print the result;
+//! * `--model <spec>` on `generate` and `run` selects the execution model
+//!   (`explicit`, `duplex`, `streams:<k>`, `implicit[:<eff>]`): `generate`
+//!   stamps it into the trace files, `run` overrides whatever the trace
+//!   carries;
 //! * `dts sweep <trace.json>` — run every heuristic across the paper's
 //!   capacity sweep and print CSV rows;
 //! * `dts demo` — print the Gantt charts of the paper's Table 3–5 examples.
@@ -18,10 +22,34 @@ use dts_chem::suite::{generate_partial_suite, SuiteConfig};
 use dts_chem::{characterize, Kernel, Trace};
 use dts_core::gantt;
 use dts_core::metrics::ScheduleMetrics;
-use dts_core::CoreError;
+use dts_core::{CoreError, ExecutionModel};
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
 use std::process::ExitCode;
+
+/// Extracts an optional `--model <spec>` / `--model=<spec>` flag from `args`
+/// and returns the remaining positional arguments alongside the parsed
+/// model. Bad specs (unknown names, `streams:0`, non-finite efficiencies)
+/// surface as clean errors through [`ExecutionModel::parse`].
+fn take_model_flag(args: &[String]) -> Result<(Vec<String>, Option<ExecutionModel>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut model = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let spec = if arg == "--model" {
+            iter.next()
+                .ok_or("--model expects a value (explicit, duplex, streams:<k>, implicit[:<eff>])")?
+                .as_str()
+        } else if let Some(value) = arg.strip_prefix("--model=") {
+            value
+        } else {
+            rest.push(arg.clone());
+            continue;
+        };
+        model = Some(ExecutionModel::parse(spec).map_err(|e| e.to_string())?);
+    }
+    Ok((rest, model))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,7 +68,10 @@ fn main() -> ExitCode {
                  \x20 characterize <trace.json>             print the workload characterization\n\
                  \x20 run <trace.json> <heuristic> [factor] run one heuristic at factor x mc\n\
                  \x20 sweep <trace.json>                    run all heuristics across the capacity sweep (CSV)\n\
-                 \x20 demo                                  print the paper's example schedules"
+                 \x20 demo                                  print the paper's example schedules\n\
+                 \n\
+                 options (generate, run):\n\
+                 \x20 --model <spec>  execution model: explicit | duplex | streams:<k> | implicit[:<eff>]"
             );
             return ExitCode::from(2);
         }
@@ -55,6 +86,7 @@ fn main() -> ExitCode {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (args, model) = take_model_flag(args)?;
     let kernel = match args.first().map(String::as_str) {
         Some("hf") => Kernel::HartreeFock,
         Some("ccsd") => Kernel::Ccsd,
@@ -86,7 +118,15 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         ));
     }
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let traces = generate_partial_suite(kernel, &config, n_ranks);
+    let mut traces = generate_partial_suite(kernel, &config, n_ranks);
+    if let Some(model) = model {
+        // Stamp the requested execution model into every trace so later
+        // `dts run` / `dts sweep` invocations honor it without repeating
+        // the flag. `Explicit` is stamped too: it documents the choice.
+        for trace in &mut traces {
+            trace.model = Some(model);
+        }
+    }
     for trace in &traces {
         let path = format!(
             "{dir}/{}-rank{:03}.json",
@@ -129,6 +169,7 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (args, model_override) = take_model_flag(args)?;
     let path = args.first().ok_or("expected a trace file")?;
     let heuristic_name = args.get(1).ok_or("expected a heuristic name")?;
     let factor: f64 = args
@@ -144,13 +185,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let heuristic = Heuristic::from_name(heuristic_name)
         .ok_or_else(|| format!("unknown heuristic '{heuristic_name}'"))?;
     let trace = load_trace(path)?;
-    let instance = trace
+    let mut instance = trace
         .to_instance_scaled(factor)
         .map_err(|e| e.to_string())?;
+    if let Some(model) = model_override {
+        instance = instance.with_model(model).map_err(|e| e.to_string())?;
+    }
     let omim = johnson_makespan(&instance);
     let schedule = run_heuristic(&instance, heuristic).map_err(|e| e.to_string())?;
     let makespan = schedule.makespan(&instance);
     println!("heuristic          {heuristic}");
+    println!("model              {}", instance.model());
     println!(
         "capacity           {} ({}x mc)",
         instance.capacity(),

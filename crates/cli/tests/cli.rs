@@ -133,3 +133,137 @@ fn generate_rejects_zero_ranks() {
     assert_eq!(output.status.code(), Some(1));
     assert!(stderr(&output).contains("at least 1"));
 }
+
+#[test]
+fn run_rejects_malformed_execution_models() {
+    let scratch = ScratchDir::new("run-bad-model");
+    let trace = generate_one_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    for spec in [
+        "bogus",
+        "streams",
+        "streams:0",
+        "streams:-2",
+        "streams:two",
+        "implicit:-0.5",
+        "implicit:1.5",
+        "implicit:NaN",
+        "implicit:inf",
+        "explicit:1",
+        "duplex:2",
+        "",
+    ] {
+        let output = dts(&["run", trace, "MAMR", "1.5", &format!("--model={spec}")]);
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "model {spec:?} should exit 1, got {:?}",
+            output.status
+        );
+        let message = stderr(&output);
+        assert!(
+            message.contains("error:") && message.contains("invalid execution model"),
+            "model {spec:?}: unexpected diagnostic {message:?}"
+        );
+        assert!(
+            !message.contains("panicked"),
+            "model {spec:?} panicked: {message:?}"
+        );
+    }
+    // A dangling `--model` with no value is also a clean error.
+    let output = dts(&["run", trace, "MAMR", "1.5", "--model"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("--model expects a value"));
+}
+
+#[test]
+fn run_echoes_the_execution_model() {
+    let scratch = ScratchDir::new("run-model-echo");
+    let trace = generate_one_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    // The default explicit model is echoed too, so reports are
+    // self-describing.
+    let output = dts(&["run", trace, "MAMR", "1.5"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(
+        stdout(&output).contains("model              explicit"),
+        "unexpected output: {:?}",
+        stdout(&output)
+    );
+    let output = dts(&["run", trace, "MAMR", "1.5", "--model", "duplex"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(
+        stdout(&output).contains("model              duplex"),
+        "unexpected output: {:?}",
+        stdout(&output)
+    );
+}
+
+#[test]
+fn overlap_models_never_lengthen_a_run() {
+    // The same trace, heuristic and capacity under each model: duplex and
+    // streams cannot end later than explicit, and full implicit overlap
+    // cannot end later than duplex.
+    let scratch = ScratchDir::new("run-model-compare");
+    let trace = generate_one_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    let makespan_under = |spec: &str| -> u64 {
+        let output = dts(&["run", trace, "LCMR", "1.5", "--model", spec]);
+        assert!(output.status.success(), "stderr: {}", stderr(&output));
+        let text = stdout(&output);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("makespan"))
+            .unwrap_or_else(|| panic!("no makespan line in {text:?}"));
+        line.split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable makespan line {line:?}"))
+    };
+    let explicit = makespan_under("explicit");
+    let duplex = makespan_under("duplex");
+    let streams = makespan_under("streams:4");
+    let implicit = makespan_under("implicit");
+    assert!(duplex <= explicit, "duplex {duplex} vs explicit {explicit}");
+    assert!(
+        streams <= explicit,
+        "streams {streams} vs explicit {explicit}"
+    );
+    assert!(implicit <= duplex, "implicit {implicit} vs duplex {duplex}");
+}
+
+#[test]
+fn generate_stamps_the_model_into_trace_files() {
+    let scratch = ScratchDir::new("generate-model");
+    let dir = scratch.path().to_str().unwrap();
+    let output = dts(&["generate", "hf", dir, "1", "--model", "streams:3"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let json = std::fs::read_to_string(scratch.path().join("hf-rank000.json")).unwrap();
+    assert!(
+        json.contains("\"model\"") && json.contains("Streams"),
+        "model not stamped: {json:?}"
+    );
+    // A stamped trace runs under its model without repeating the flag.
+    let trace = scratch.path().join("hf-rank000.json");
+    let output = dts(&["run", trace.to_str().unwrap(), "MAMR", "1.5"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(
+        stdout(&output).contains("model              streams:3"),
+        "unexpected output: {:?}",
+        stdout(&output)
+    );
+}
+
+#[test]
+fn generate_rejects_malformed_execution_models() {
+    let scratch = ScratchDir::new("generate-bad-model");
+    let dir = scratch.path().to_str().unwrap();
+    let output = dts(&["generate", "hf", dir, "1", "--model", "streams:0"]);
+    assert_eq!(output.status.code(), Some(1));
+    let message = stderr(&output);
+    assert!(
+        message.contains("invalid execution model") && !message.contains("panicked"),
+        "unexpected diagnostic: {message:?}"
+    );
+    assert_eq!(std::fs::read_dir(scratch.path()).unwrap().count(), 0);
+}

@@ -34,6 +34,10 @@ pub enum CoreError {
     /// (NaN, infinite, or negative). Stored pre-formatted so the error
     /// stays `Eq` despite the `f64` origin.
     InvalidCapacityFactor(String),
+    /// An execution-model spec is malformed (unknown strategy, zero stream
+    /// count, non-finite or out-of-range overlap efficiency). Stored
+    /// pre-formatted so the error stays `Eq` despite the `f64` origin.
+    InvalidExecutionModel(String),
     /// A schedule was found infeasible; the message summarizes the first
     /// violation.
     Infeasible(String),
@@ -66,6 +70,9 @@ impl fmt::Display for CoreError {
                 f,
                 "invalid capacity factor {factor}: must be a finite non-negative number"
             ),
+            CoreError::InvalidExecutionModel(msg) => {
+                write!(f, "invalid execution model: {msg}")
+            }
             CoreError::Infeasible(msg) => write!(f, "infeasible schedule: {msg}"),
             CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -97,5 +104,7 @@ mod tests {
             .contains("T2"));
         let e = CoreError::InvalidCapacityFactor("NaN".into());
         assert!(e.to_string().contains("invalid capacity factor NaN"));
+        let e = CoreError::InvalidExecutionModel("bad spec".into());
+        assert!(e.to_string().contains("invalid execution model: bad spec"));
     }
 }

@@ -1,20 +1,57 @@
 //! Problem instances: a set of tasks plus a memory capacity.
 
 use crate::error::{CoreError, Result};
+use crate::exec::ExecutionModel;
 use crate::memory::MemSize;
 use crate::task::{Task, TaskId, TaskIntensity};
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// An instance of problem `DT`: independent tasks, a single communication
 /// link, a single processing unit and a local memory of capacity
 /// [`capacity`](Instance::capacity).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     tasks: Vec<Task>,
     capacity: MemSize,
     /// Optional label (trace file name, table number, ...).
     pub label: String,
+    /// Execution model the instance is meant to run under; absent (the
+    /// common case, and every pre-existing serialized instance) means the
+    /// paper's [`ExecutionModel::Explicit`].
+    model: Option<ExecutionModel>,
+}
+
+// Hand-written (de)serialization so the `model` key is omitted when absent
+// and optional when read: every instance serialized before the
+// execution-model layer existed keeps loading (and printing) unchanged.
+impl Serialize for Instance {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("tasks".to_string(), self.tasks.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("label".to_string(), self.label.to_value()),
+        ];
+        if let Some(model) = &self.model {
+            fields.push(("model".to_string(), model.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Instance {
+    fn from_value(value: &Value) -> std::result::Result<Self, SerdeError> {
+        let model = match value.field("model") {
+            Ok(v) => Option::<ExecutionModel>::from_value(v)?,
+            Err(_) => None,
+        };
+        Ok(Instance {
+            tasks: Deserialize::from_value(value.field("tasks")?)?,
+            capacity: Deserialize::from_value(value.field("capacity")?)?,
+            label: Deserialize::from_value(value.field("label")?)?,
+            model,
+        })
+    }
 }
 
 impl Instance {
@@ -33,8 +70,28 @@ impl Instance {
             tasks,
             capacity,
             label,
+            model: None,
         };
         instance.check_tasks_fit()?;
+        Ok(instance)
+    }
+
+    /// The execution model the instance runs under;
+    /// [`ExecutionModel::Explicit`] unless one was attached with
+    /// [`Instance::with_model`] (or carried by the serialized form).
+    #[inline]
+    pub fn model(&self) -> ExecutionModel {
+        self.model.unwrap_or_default()
+    }
+
+    /// Returns a copy of this instance carrying the given execution model;
+    /// every executor and heuristic entry point honors it by default.
+    /// Rejects invalid models (zero stream count) that bypassed
+    /// [`ExecutionModel::parse`].
+    pub fn with_model(&self, model: ExecutionModel) -> Result<Self> {
+        model.validate()?;
+        let mut instance = self.clone();
+        instance.model = (!model.is_explicit()).then_some(model);
         Ok(instance)
     }
 
@@ -109,7 +166,9 @@ impl Instance {
     /// Returns a copy of this instance with a different memory capacity.
     /// Used by capacity sweeps (`mc`, `1.125·mc`, ..., `2·mc`).
     pub fn with_capacity(&self, capacity: MemSize) -> Result<Self> {
-        Instance::with_label(self.tasks.clone(), capacity, self.label.clone())
+        let mut instance = Instance::with_label(self.tasks.clone(), capacity, self.label.clone())?;
+        instance.model = self.model;
+        Ok(instance)
     }
 
     /// Returns the sub-instance made of the given tasks (used for batched
@@ -121,7 +180,9 @@ impl Instance {
         for id in batch {
             tasks.push(self.get_task(*id)?.clone());
         }
-        Instance::with_label(tasks, self.capacity, self.label.clone())
+        let mut instance = Instance::with_label(tasks, self.capacity, self.label.clone())?;
+        instance.model = self.model;
+        Ok(instance)
     }
 
     /// Minimum memory capacity `mc` required to run every task: the largest
@@ -372,5 +433,39 @@ mod tests {
         let json = serde_json::to_string(&inst).unwrap();
         let back: Instance = serde_json::from_str(&json).unwrap();
         assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn model_defaults_to_explicit_and_round_trips() {
+        use crate::exec::ExecutionModel;
+        let inst = sample();
+        assert_eq!(inst.model(), ExecutionModel::Explicit);
+        // Plain instances serialize without a model key, so pre-existing
+        // JSON fixtures keep deserializing (and comparing) unchanged.
+        let json = serde_json::to_string(&inst).unwrap();
+        assert!(!json.contains("model"));
+
+        let duplex = inst.with_model(ExecutionModel::Duplex).unwrap();
+        assert_eq!(duplex.model(), ExecutionModel::Duplex);
+        let back: Instance =
+            serde_json::from_str(&serde_json::to_string(&duplex).unwrap()).unwrap();
+        assert_eq!(back.model(), ExecutionModel::Duplex);
+        // Attaching Explicit is a no-op that keeps equality with the plain
+        // instance.
+        assert_eq!(inst.with_model(ExecutionModel::Explicit).unwrap(), inst);
+        // Invalid models are rejected, not stored.
+        assert!(inst.with_model(ExecutionModel::Streams { k: 0 }).is_err());
+    }
+
+    #[test]
+    fn model_survives_capacity_changes_and_sub_instances() {
+        use crate::exec::ExecutionModel;
+        let inst = sample()
+            .with_model(ExecutionModel::Streams { k: 3 })
+            .unwrap();
+        let resized = inst.with_capacity(MemSize::from_bytes(12)).unwrap();
+        assert_eq!(resized.model(), ExecutionModel::Streams { k: 3 });
+        let sub = inst.sub_instance(&[TaskId(2), TaskId(0)]).unwrap();
+        assert_eq!(sub.model(), ExecutionModel::Streams { k: 3 });
     }
 }

@@ -16,6 +16,9 @@
 //! This crate provides:
 //!
 //! * [`Time`] / [`MemSize`] — fixed-point time and byte quantities,
+//! * [`exec`] — the execution-model layer (explicit, duplex, k-stream and
+//!   implicit-overlap transfer semantics shared by the executors and the
+//!   decision engine),
 //! * [`Task`], [`Instance`] — the problem input,
 //! * [`Schedule`] — a complete solution (per-task communication and
 //!   computation start times),
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod exec;
 pub mod feasibility;
 pub mod gantt;
 pub mod index;
@@ -57,6 +61,7 @@ pub mod testgen;
 pub mod time;
 
 pub use error::{CoreError, Result};
+pub use exec::{ExecutionModel, OverlapEfficiency};
 pub use index::CandidateIndex;
 pub use instance::{Instance, InstanceBuilder, InstanceStats};
 pub use memory::MemSize;
@@ -67,12 +72,16 @@ pub use time::Time;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use crate::error::{CoreError, Result};
+    pub use crate::exec::{ExecutionModel, OverlapEfficiency};
     pub use crate::feasibility::{validate, Violation};
     pub use crate::instance::{Instance, InstanceBuilder, InstanceStats};
     pub use crate::memory::MemSize;
     pub use crate::metrics::ScheduleMetrics;
     pub use crate::schedule::{Schedule, ScheduleEntry};
-    pub use crate::simulate::{simulate_sequence, simulate_sequence_infinite};
+    pub use crate::simulate::{
+        simulate_sequence, simulate_sequence_infinite, simulate_sequence_infinite_with,
+        simulate_sequence_with,
+    };
     pub use crate::task::{Task, TaskId, TaskIntensity};
     pub use crate::time::Time;
 }

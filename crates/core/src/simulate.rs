@@ -12,12 +12,74 @@
 //!   communication is delayed until enough previously-acquired memory has
 //!   been released by finished computations. This is the executor used by
 //!   all the static heuristics of Section 4.1.
+//!
+//! Both executors honor the instance's [`ExecutionModel`] (the paper's
+//! half-duplex [`ExecutionModel::Explicit`] unless one was attached), and
+//! both have `_with` variants taking the model explicitly. Under the
+//! multi-channel models (duplex, streams) transfers are still *issued* in
+//! sequence order — transfer `i + 1` never starts before transfer `i` —
+//! but may proceed concurrently on different channels; under the implicit
+//! model each task's transfer and computation fuse into a single phase.
 
 use crate::error::{CoreError, Result};
+use crate::exec::ExecutionModel;
 use crate::instance::Instance;
 use crate::schedule::{Schedule, ScheduleEntry};
 use crate::task::TaskId;
 use crate::time::Time;
+
+/// Index of the earliest-free channel, ties broken toward the lowest
+/// index (the deterministic stream-assignment rule).
+fn earliest_free_channel(channels: &[Time]) -> usize {
+    let mut best = 0;
+    for (i, &free) in channels.iter().enumerate().skip(1) {
+        if free < channels[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Transfer-channel occupancy under a (non-explicit) execution model:
+/// per-channel free instants plus the round-robin cursor of the duplex
+/// model and the instant the last transfer was issued (transfers are
+/// issued in sequence order, so the next one never starts earlier).
+struct Channels {
+    free: Vec<Time>,
+    next_duplex: usize,
+    last_issue: Time,
+}
+
+impl Channels {
+    fn new(model: ExecutionModel) -> Self {
+        Channels {
+            free: vec![Time::ZERO; model.channel_count()],
+            next_duplex: 0,
+            last_issue: Time::ZERO,
+        }
+    }
+
+    /// Picks the channel the next transfer uses and returns it with the
+    /// earliest instant the transfer may start on it.
+    fn next_slot(&mut self, model: ExecutionModel) -> (usize, Time) {
+        let channel = match model {
+            // Consecutive transfers alternate directions.
+            ExecutionModel::Duplex => {
+                let c = self.next_duplex;
+                self.next_duplex = (self.next_duplex + 1) % self.free.len();
+                c
+            }
+            _ => earliest_free_channel(&self.free),
+        };
+        (channel, self.last_issue.max(self.free[channel]))
+    }
+
+    /// Records a transfer occupying `channel` from `start` to `end`.
+    fn commit(&mut self, channel: usize, start: Time, end: Time) {
+        self.last_issue = start;
+        self.free[channel] = end;
+    }
+}
 
 /// Checks that `order` is a permutation of the instance's task set.
 ///
@@ -46,25 +108,69 @@ pub fn check_permutation(instance: &Instance, order: &[TaskId]) -> Result<()> {
 }
 
 /// Executes `order` on both resources assuming unlimited memory
-/// (Algorithm 1, lines 5–13). The resulting makespan for the Johnson order
-/// is the `OMIM` lower bound used throughout the paper's evaluation.
+/// (Algorithm 1, lines 5–13) under the instance's execution model. The
+/// resulting makespan for the Johnson order under the explicit model is
+/// the `OMIM` lower bound used throughout the paper's evaluation.
 pub fn simulate_sequence_infinite(instance: &Instance, order: &[TaskId]) -> Result<Schedule> {
+    simulate_sequence_infinite_with(instance, order, instance.model())
+}
+
+/// [`simulate_sequence_infinite`] under an explicit [`ExecutionModel`]
+/// (overriding whatever the instance carries).
+pub fn simulate_sequence_infinite_with(
+    instance: &Instance,
+    order: &[TaskId],
+    model: ExecutionModel,
+) -> Result<Schedule> {
     check_permutation(instance, order)?;
+    model.validate()?;
     let mut schedule = Schedule::with_capacity(order.len());
-    let mut link_free = Time::ZERO;
+    if model.is_explicit() {
+        let mut link_free = Time::ZERO;
+        let mut cpu_free = Time::ZERO;
+        for &id in order {
+            let task = instance.task(id);
+            let comm_start = link_free;
+            let comm_end = comm_start + task.comm_time;
+            let comp_start = comm_end.max(cpu_free);
+            link_free = comm_end;
+            cpu_free = comp_start + task.comp_time;
+            schedule.push(ScheduleEntry {
+                task: id,
+                comm_start,
+                comp_start,
+            });
+        }
+        return Ok(schedule);
+    }
+    let mut channels = Channels::new(model);
     let mut cpu_free = Time::ZERO;
     for &id in order {
         let task = instance.task(id);
-        let comm_start = link_free;
-        let comm_end = comm_start + task.comm_time;
-        let comp_start = comm_end.max(cpu_free);
-        link_free = comm_end;
-        cpu_free = comp_start + task.comp_time;
-        schedule.push(ScheduleEntry {
-            task: id,
-            comm_start,
-            comp_start,
-        });
+        let entry = if let ExecutionModel::Implicit { .. } = model {
+            // The fused phase holds link and CPU together.
+            let start = channels.last_issue.max(cpu_free);
+            let end = start + model.fused_duration(task.comm_time, task.comp_time);
+            channels.commit(0, start, end);
+            cpu_free = end;
+            ScheduleEntry {
+                task: id,
+                comm_start: start,
+                comp_start: end - task.comp_time,
+            }
+        } else {
+            let (channel, start) = channels.next_slot(model);
+            let comm_end = start + task.comm_time;
+            channels.commit(channel, start, comm_end);
+            let comp_start = comm_end.max(cpu_free);
+            cpu_free = comp_start + task.comp_time;
+            ScheduleEntry {
+                task: id,
+                comm_start: start,
+                comp_start,
+            }
+        };
+        schedule.push(entry);
     }
     Ok(schedule)
 }
@@ -89,18 +195,36 @@ pub fn simulate_sequence_infinite(instance: &Instance, order: &[TaskId]) -> Resu
 /// instance's memory (possible only for instances that bypassed
 /// [`Instance::new`] validation, e.g. deserialized ones).
 pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedule> {
+    simulate_sequence_with(instance, order, instance.model())
+}
+
+/// [`simulate_sequence`] under an explicit [`ExecutionModel`] (overriding
+/// whatever the instance carries). Memory semantics are shared by all
+/// models — a task holds its memory from the start of its (fused or
+/// plain) transfer to the end of its computation, and a transfer waits
+/// for releases until it fits.
+pub fn simulate_sequence_with(
+    instance: &Instance,
+    order: &[TaskId],
+    model: ExecutionModel,
+) -> Result<Schedule> {
     check_permutation(instance, order)?;
+    model.validate()?;
     // A task larger than the whole memory can never fit; waiting for
     // releases would drain the queue and underflow. Construction enforces
     // this, but deserialized instances can violate it.
     instance.check_tasks_fit()?;
     let capacity = instance.capacity();
     let mut schedule = Schedule::with_capacity(order.len());
+    let explicit = model.is_explicit();
+    let implicit = matches!(model, ExecutionModel::Implicit { .. });
+    let mut channels = Channels::new(model);
     let mut link_free = Time::ZERO;
     let mut cpu_free = Time::ZERO;
     // Active tasks as (computation end, memory held). Computation ends are
     // non-decreasing because computations run in sequence order on a single
-    // processing unit, so this behaves like a FIFO of pending releases.
+    // processing unit (fused phases likewise end in issue order), so this
+    // behaves like a FIFO of pending releases.
     let mut active: std::collections::VecDeque<(Time, u64)> = std::collections::VecDeque::new();
     let mut held: u64 = 0;
 
@@ -108,8 +232,16 @@ pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedu
         let task = instance.task(id);
         let need = task.mem.bytes();
 
-        // Earliest start on the link.
-        let mut start = link_free;
+        // Earliest start on the transfer medium.
+        let (channel, floor) = if explicit {
+            (0, link_free)
+        } else if implicit {
+            // The fused phase needs the CPU too.
+            (0, channels.last_issue.max(cpu_free))
+        } else {
+            channels.next_slot(model)
+        };
+        let mut start = floor;
         // Release everything that completes no later than `start`.
         while let Some(&(release, mem)) = active.front() {
             if release <= start {
@@ -139,11 +271,20 @@ pub fn simulate_sequence(instance: &Instance, order: &[TaskId]) -> Result<Schedu
         }
 
         let comm_start = start;
-        let comm_end = comm_start + task.comm_time;
-        let comp_start = comm_end.max(cpu_free);
-        let comp_end = comp_start + task.comp_time;
-        link_free = comm_end;
-        cpu_free = comp_end;
+        let (comp_start, comp_end) = if implicit {
+            let end = comm_start + model.fused_duration(task.comm_time, task.comp_time);
+            channels.commit(0, comm_start, end);
+            cpu_free = end;
+            (end - task.comp_time, end)
+        } else {
+            let comm_end = comm_start + task.comm_time;
+            channels.commit(channel, comm_start, comm_end);
+            link_free = comm_end;
+            let comp_start = comm_end.max(cpu_free);
+            let comp_end = comp_start + task.comp_time;
+            cpu_free = comp_end;
+            (comp_start, comp_end)
+        };
         held += need;
         active.push_back((comp_end, need));
         schedule.push(ScheduleEntry {
@@ -375,6 +516,112 @@ mod tests {
             sched.entry(TaskId(2)).unwrap().comm_start,
             Time::from_ticks(3000)
         );
+    }
+
+    #[test]
+    fn streams_one_is_exactly_explicit() {
+        use crate::exec::ExecutionModel;
+        let inst = table3();
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut order = inst.task_ids();
+        for _ in 0..20 {
+            order.shuffle(&mut rng);
+            let explicit = simulate_sequence_with(&inst, &order, ExecutionModel::Explicit).unwrap();
+            let one =
+                simulate_sequence_with(&inst, &order, ExecutionModel::Streams { k: 1 }).unwrap();
+            assert_eq!(explicit, one);
+            let explicit_inf =
+                simulate_sequence_infinite_with(&inst, &order, ExecutionModel::Explicit).unwrap();
+            let one_inf =
+                simulate_sequence_infinite_with(&inst, &order, ExecutionModel::Streams { k: 1 })
+                    .unwrap();
+            assert_eq!(explicit_inf, one_inf);
+        }
+    }
+
+    #[test]
+    fn duplex_pipelines_table3_by_hand() {
+        use crate::exec::ExecutionModel;
+        // Order B, C, A, D under duplex round-robin (B→ch0, C→ch1, A→ch0,
+        // D→ch1): B comm [0,1) comp [1,4); C comm [0,4) (other direction,
+        // no contention) comp [4,8). A needs 3 bytes: after B's release at
+        // 4 the held 4 (C) + 3 > 6, so A waits for C's release at 8 —
+        // comm [8,11), comp [11,13). D issues at max(issue 8, ch1 free 4)
+        // = 8: comm [8,10), comp [13,14). Makespan 14 < explicit's 15
+        // (Fig. 4b, OOSIM).
+        let inst = table3();
+        let order = ids(&[1, 2, 0, 3]);
+        let sched = simulate_sequence_with(&inst, &order, ExecutionModel::Duplex).unwrap();
+        assert_eq!(sched.makespan(&inst), Time::units_int(14));
+        assert_eq!(
+            sched.entry(TaskId(2)).unwrap().comm_start,
+            Time::units_int(0)
+        );
+        assert_eq!(
+            sched.entry(TaskId(0)).unwrap().comm_start,
+            Time::units_int(8)
+        );
+        assert_eq!(
+            sched.entry(TaskId(3)).unwrap().comm_start,
+            Time::units_int(8)
+        );
+        let explicit = simulate_sequence(&inst, &order).unwrap();
+        assert_eq!(explicit.makespan(&inst), Time::units_int(15));
+        assert!(sched.makespan(&inst) <= explicit.makespan(&inst));
+    }
+
+    #[test]
+    fn implicit_full_overlap_fuses_phases() {
+        use crate::exec::ExecutionModel;
+        // Under full-efficiency implicit overlap each task occupies both
+        // resources for max(comm, comp): A 3, B 3, C 4, D 2 ⇒ makespan 12
+        // for any order that never waits on memory.
+        let inst = table3();
+        let sched =
+            simulate_sequence_with(&inst, &ids(&[1, 2, 0, 3]), ExecutionModel::IMPLICIT_FULL)
+                .unwrap();
+        // B [0,3), C [3,7) (B releases at 3), A [7,10), D [10,12).
+        assert_eq!(sched.makespan(&inst), Time::units_int(12));
+        // Each entry's computation ends when its fused phase does.
+        for (id, task) in inst.iter() {
+            let entry = sched.entry(id).unwrap();
+            assert!(entry.comp_start >= entry.comm_start);
+            let fused =
+                ExecutionModel::IMPLICIT_FULL.fused_duration(task.comm_time, task.comp_time);
+            assert_eq!(entry.comp_start + task.comp_time, entry.comm_start + fused);
+        }
+    }
+
+    #[test]
+    fn model_carried_by_the_instance_is_honored() {
+        use crate::exec::ExecutionModel;
+        let inst = table3();
+        let duplex_inst = inst.with_model(ExecutionModel::Duplex).unwrap();
+        let order = ids(&[1, 2, 0, 3]);
+        assert_eq!(
+            simulate_sequence(&duplex_inst, &order).unwrap(),
+            simulate_sequence_with(&inst, &order, ExecutionModel::Duplex).unwrap()
+        );
+        assert_eq!(
+            simulate_sequence_infinite(&duplex_inst, &order).unwrap(),
+            simulate_sequence_infinite_with(&inst, &order, ExecutionModel::Duplex).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_model_rejected_not_panicking() {
+        use crate::exec::ExecutionModel;
+        let inst = table3();
+        let order = inst.task_ids();
+        assert!(matches!(
+            simulate_sequence_with(&inst, &order, ExecutionModel::Streams { k: 0 }),
+            Err(CoreError::InvalidExecutionModel(_))
+        ));
+        assert!(matches!(
+            simulate_sequence_infinite_with(&inst, &order, ExecutionModel::Streams { k: 0 }),
+            Err(CoreError::InvalidExecutionModel(_))
+        ));
     }
 
     #[test]

@@ -92,6 +92,34 @@ pub fn tie_heavy_task_gen() -> TaskGen {
     task_gen(0..=2, 0..=2, 0..=4)
 }
 
+/// A transfer-bound task domain: communication dominates computation, so
+/// under the explicit model the link is the bottleneck and the overlap
+/// models (duplex, streams) genuinely reshape the timeline — and, through
+/// earlier releases, the decisions of the dynamic heuristics. The
+/// adversarial domain of the execution-model properties.
+pub fn transfer_bound_task_gen() -> TaskGen {
+    task_gen(8..=30, 0..=6, 1..=16)
+}
+
+/// Transfer-bound *and* tie-heavy: communication still dominates but is
+/// drawn from a tiny range, so channel assignments and id tie-breaks
+/// decide everything.
+pub fn transfer_bound_tie_heavy_task_gen() -> TaskGen {
+    task_gen(3..=5, 0..=1, 1..=3)
+}
+
+/// Instances from the [`transfer_bound_task_gen`] domain with tight
+/// capacity slack, so memory waits interleave with channel contention.
+pub fn transfer_bound_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {
+    instance_gen_with(transfer_bound_task_gen(), len, 0..=6)
+}
+
+/// Instances from the [`transfer_bound_tie_heavy_task_gen`] domain with
+/// tight capacity slack.
+pub fn transfer_bound_tie_heavy_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {
+    instance_gen_with(transfer_bound_tie_heavy_task_gen(), len, 0..=4)
+}
+
 impl Gen for TaskGen {
     type Value = TaskSpec;
 

@@ -38,7 +38,8 @@ impl From<CorrectionCriterion> for SelectionCriterion {
 }
 
 /// Runs a static-order-with-dynamic-corrections heuristic using the Johnson
-/// order as the precomputed order.
+/// order as the precomputed order, under the execution model the instance
+/// carries ([`ExecutionModel::Explicit`] unless one was attached).
 pub fn run_corrected(instance: &Instance, criterion: CorrectionCriterion) -> Result<Schedule> {
     run_corrected_with_order(instance, &johnson_order(instance), criterion)
 }
@@ -51,10 +52,24 @@ pub fn run_corrected_with_order(
     order: &[TaskId],
     criterion: CorrectionCriterion,
 ) -> Result<Schedule> {
+    run_corrected_with_order_model(instance, order, criterion, instance.model())
+}
+
+/// [`run_corrected_with_order`] under an explicit [`ExecutionModel`]
+/// (overriding whatever the instance carries). As for the dynamic
+/// heuristics, the order-following and correction rules are shared by all
+/// models; only the commit timing differs (see [`EngineState::commit`]).
+pub fn run_corrected_with_order_model(
+    instance: &Instance,
+    order: &[TaskId],
+    criterion: CorrectionCriterion,
+    model: ExecutionModel,
+) -> Result<Schedule> {
+    model.validate()?;
     dts_core::simulate::check_permutation(instance, order)?;
     instance.check_tasks_fit()?;
     let selection: SelectionCriterion = criterion.into();
-    let mut state = EngineState::new(instance);
+    let mut state = EngineState::with_model(instance, model);
     // The pending set is the suffix of `order` starting at `cursor`, minus
     // the positions already scheduled by a dynamic correction; `index`
     // mirrors it as a memory-indexed structure so a correction is resolved

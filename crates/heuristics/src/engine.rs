@@ -40,14 +40,20 @@ use std::collections::VecDeque;
 /// Mutable scheduling state used by the decision-driven heuristics.
 #[derive(Debug, Clone)]
 pub struct EngineState {
-    /// Instant at which the communication link becomes free.
+    /// Earliest instant at which the next transfer may be *issued*. Under
+    /// the explicit model this is when the single link frees up; under the
+    /// multi-channel models it accounts for the channel the next transfer
+    /// would use (transfers are issued in decision order, so it is also at
+    /// least the last issue instant); under the implicit model it is the
+    /// end of the running fused phase.
     pub link_free: Time,
     /// Instant at which the processing unit becomes free.
     pub cpu_free: Time,
     /// Pending memory releases as `(computation end, memory held)`, ordered
     /// by computation end (computations run one at a time, so pushes are
-    /// already in non-decreasing order). Entries released by
-    /// [`EngineState::release_up_to`] are popped from the front.
+    /// already in non-decreasing order — fused phases likewise end in
+    /// issue order). Entries released by [`EngineState::release_up_to`]
+    /// are popped from the front.
     releases: VecDeque<(Time, MemSize)>,
     /// Sum of the memory held by the queued releases.
     held: MemSize,
@@ -56,13 +62,38 @@ pub struct EngineState {
     released_up_to: Time,
     /// Capacity of the local memory.
     capacity: MemSize,
+    /// Execution model the engine commits under.
+    model: ExecutionModel,
+    /// Per-channel free instants of the multi-channel models (empty for
+    /// explicit/implicit, which track the medium through `link_free`).
+    channels: Vec<Time>,
+    /// Round-robin cursor of the duplex model: the direction the next
+    /// transfer uses.
+    next_duplex: usize,
     /// Schedule built so far.
     pub schedule: Schedule,
 }
 
 impl EngineState {
-    /// Creates the initial state for an instance.
+    /// Creates the initial state for an instance, honoring the execution
+    /// model the instance carries ([`ExecutionModel::Explicit`] unless one
+    /// was attached).
     pub fn new(instance: &Instance) -> Self {
+        Self::with_model(instance, instance.model())
+    }
+
+    /// Creates the initial state for an instance under an explicit
+    /// execution model. Callers must validate the model first
+    /// ([`ExecutionModel::validate`]); the public heuristic entry points
+    /// do.
+    pub fn with_model(instance: &Instance, model: ExecutionModel) -> Self {
+        debug_assert!(model.validate().is_ok(), "unvalidated execution model");
+        let channels = match model {
+            ExecutionModel::Duplex | ExecutionModel::Streams { .. } => {
+                vec![Time::ZERO; model.channel_count()]
+            }
+            _ => Vec::new(),
+        };
         EngineState {
             link_free: Time::ZERO,
             cpu_free: Time::ZERO,
@@ -70,8 +101,17 @@ impl EngineState {
             held: MemSize::ZERO,
             released_up_to: Time::ZERO,
             capacity: instance.capacity(),
+            model,
+            channels,
+            next_duplex: 0,
             schedule: Schedule::with_capacity(instance.len()),
         }
+    }
+
+    /// The execution model the engine commits under.
+    #[inline]
+    pub fn model(&self) -> ExecutionModel {
+        self.model
     }
 
     /// Drops every pending release happening at or before `t` and folds it
@@ -145,6 +185,15 @@ impl EngineState {
     /// Idle time that starting `task`'s transfer at instant `t` would induce
     /// on the processing unit: the gap between the moment the unit becomes
     /// free and the moment this task's data would be ready.
+    ///
+    /// Exact under the explicit, duplex and streams models — a transfer
+    /// committed at `t` always finds its channel free (that is what
+    /// [`link_free`](EngineState::link_free) guarantees), so the data is
+    /// ready at `t + comm`. Under the implicit model the selection rule
+    /// deliberately keeps this communication-time proxy (the paper's
+    /// heuristics are defined on task transfer times): it is exact at
+    /// overlap efficiency 0 and keeps every criterion distinguishable and
+    /// O(log n) via the [`CandidateIndex`] threshold queries.
     pub fn induced_cpu_idle(&self, task: &Task, t: Time) -> Time {
         (t + task.comm_time).saturating_sub(self.cpu_free)
     }
@@ -173,6 +222,13 @@ impl EngineState {
     /// Commits `task` (with id `id`) to start its transfer at instant `t`.
     /// Returns the completion time of its computation.
     ///
+    /// Model-aware: under the explicit model the single link is busy until
+    /// the transfer ends (the paper's semantics, byte-identical to the
+    /// seed engine); under duplex/streams only the chosen channel is, and
+    /// [`link_free`](EngineState::link_free) advances to when the *next*
+    /// transfer could be issued; under the implicit model the task's
+    /// transfer and computation fuse into one phase holding link and CPU.
+    ///
     /// # Panics
     /// Panics in debug builds if the transfer would overlap the link busy
     /// period or overflow the memory — callers must only commit decisions
@@ -183,11 +239,53 @@ impl EngineState {
         debug_assert!(self.fits_at(task, t), "task does not fit in memory");
         self.release_up_to(t);
         let comm_start = t;
-        let comm_end = comm_start + task.comm_time;
-        let comp_start = comm_end.max(self.cpu_free);
-        let comp_end = comp_start + task.comp_time;
-        self.link_free = comm_end;
-        self.cpu_free = comp_end;
+        let (comp_start, comp_end) = match self.model {
+            ExecutionModel::Explicit => {
+                let comm_end = comm_start + task.comm_time;
+                let comp_start = comm_end.max(self.cpu_free);
+                let comp_end = comp_start + task.comp_time;
+                self.link_free = comm_end;
+                self.cpu_free = comp_end;
+                (comp_start, comp_end)
+            }
+            ExecutionModel::Duplex => {
+                let comm_end = comm_start + task.comm_time;
+                debug_assert!(
+                    self.channels[self.next_duplex] <= t,
+                    "chosen direction is busy"
+                );
+                self.channels[self.next_duplex] = comm_end;
+                self.next_duplex = (self.next_duplex + 1) % self.channels.len();
+                // Transfers are issued in decision order, so the next one
+                // starts no earlier than this one and no earlier than its
+                // (round-robin) direction frees up.
+                self.link_free = comm_start.max(self.channels[self.next_duplex]);
+                let comp_start = comm_end.max(self.cpu_free);
+                let comp_end = comp_start + task.comp_time;
+                self.cpu_free = comp_end;
+                (comp_start, comp_end)
+            }
+            ExecutionModel::Streams { .. } => {
+                let comm_end = comm_start + task.comm_time;
+                let channel = Self::earliest_free_channel(&self.channels);
+                debug_assert!(self.channels[channel] <= t, "chosen stream is busy");
+                self.channels[channel] = comm_end;
+                let earliest = self.channels[Self::earliest_free_channel(&self.channels)];
+                self.link_free = comm_start.max(earliest);
+                let comp_start = comm_end.max(self.cpu_free);
+                let comp_end = comp_start + task.comp_time;
+                self.cpu_free = comp_end;
+                (comp_start, comp_end)
+            }
+            ExecutionModel::Implicit { .. } => {
+                let end = comm_start + self.model.fused_duration(task.comm_time, task.comp_time);
+                self.link_free = end;
+                self.cpu_free = end;
+                // fused >= comp, so the computation tail starts within the
+                // phase.
+                (end - task.comp_time, end)
+            }
+        };
         self.releases.push_back((comp_end, task.mem));
         self.held = self.held.saturating_add(task.mem);
         self.schedule.push(ScheduleEntry {
@@ -196,6 +294,18 @@ impl EngineState {
             comp_start,
         });
         comp_end
+    }
+
+    /// Index of the earliest-free channel, ties broken toward the lowest
+    /// index (the deterministic stream-assignment rule).
+    fn earliest_free_channel(channels: &[Time]) -> usize {
+        let mut best = 0;
+        for (i, &free) in channels.iter().enumerate().skip(1) {
+            if free < channels[best] {
+                best = i;
+            }
+        }
+        best
     }
 }
 

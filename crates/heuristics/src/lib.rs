@@ -196,8 +196,23 @@ impl fmt::Display for Heuristic {
     }
 }
 
-/// Runs a heuristic on an instance and returns the resulting schedule.
+/// Runs a heuristic on an instance and returns the resulting schedule,
+/// under the execution model the instance carries
+/// ([`ExecutionModel::Explicit`] unless one was attached).
 pub fn run_heuristic(instance: &Instance, heuristic: Heuristic) -> Result<Schedule> {
+    run_heuristic_with(instance, heuristic, instance.model())
+}
+
+/// [`run_heuristic`] under an explicit [`ExecutionModel`] (overriding
+/// whatever the instance carries). Static orders are computed exactly as
+/// before — the ordering rules only look at task characteristics — and then
+/// executed under `model`; the dynamic and corrected heuristics thread the
+/// model through their decision engines.
+pub fn run_heuristic_with(
+    instance: &Instance,
+    heuristic: Heuristic,
+    model: ExecutionModel,
+) -> Result<Schedule> {
     match heuristic {
         Heuristic::OS
         | Heuristic::OOSIM
@@ -208,22 +223,35 @@ pub fn run_heuristic(instance: &Instance, heuristic: Heuristic) -> Result<Schedu
         | Heuristic::GG
         | Heuristic::BP => {
             let order = static_order::static_order(instance, heuristic)?;
-            simulate_sequence(instance, &order)
+            simulate_sequence_with(instance, &order, model)
         }
-        Heuristic::LCMR => dynamic::run_dynamic(instance, SelectionCriterion::LargestCommunication),
+        Heuristic::LCMR => {
+            dynamic::run_dynamic_with(instance, SelectionCriterion::LargestCommunication, model)
+        }
         Heuristic::SCMR => {
-            dynamic::run_dynamic(instance, SelectionCriterion::SmallestCommunication)
+            dynamic::run_dynamic_with(instance, SelectionCriterion::SmallestCommunication, model)
         }
-        Heuristic::MAMR => dynamic::run_dynamic(instance, SelectionCriterion::MaximumAcceleration),
-        Heuristic::OOLCMR => {
-            corrected::run_corrected(instance, CorrectionCriterion::LargestCommunication)
+        Heuristic::MAMR => {
+            dynamic::run_dynamic_with(instance, SelectionCriterion::MaximumAcceleration, model)
         }
-        Heuristic::OOSCMR => {
-            corrected::run_corrected(instance, CorrectionCriterion::SmallestCommunication)
-        }
-        Heuristic::OOMAMR => {
-            corrected::run_corrected(instance, CorrectionCriterion::MaximumAcceleration)
-        }
+        Heuristic::OOLCMR => corrected::run_corrected_with_order_model(
+            instance,
+            &dts_flowshop::johnson::johnson_order(instance),
+            CorrectionCriterion::LargestCommunication,
+            model,
+        ),
+        Heuristic::OOSCMR => corrected::run_corrected_with_order_model(
+            instance,
+            &dts_flowshop::johnson::johnson_order(instance),
+            CorrectionCriterion::SmallestCommunication,
+            model,
+        ),
+        Heuristic::OOMAMR => corrected::run_corrected_with_order_model(
+            instance,
+            &dts_flowshop::johnson::johnson_order(instance),
+            CorrectionCriterion::MaximumAcceleration,
+            model,
+        ),
     }
 }
 

@@ -273,6 +273,29 @@ fn engines_agree_on_tie_heavy_instances() {
 }
 
 #[test]
+fn engines_agree_on_transfer_bound_instances() {
+    // The adversarial domains of the execution-model layer: communication
+    // dominates computation (so the link is the bottleneck) and capacity
+    // slack is tight. The explicit engine must still match the seed
+    // reference exactly on them — the model-aware refactor of
+    // `EngineState::commit` may not perturb the pinned baseline.
+    use microcheck::Gen;
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let transfer_bound = dts_core::testgen::transfer_bound_instance_gen(1..=20);
+    let tie_heavy = dts_core::testgen::transfer_bound_tie_heavy_instance_gen(1..=20);
+    for round in 0..30 {
+        let instance = transfer_bound.generate(&mut rng).build();
+        assert_engines_agree(&instance, &format!("transfer-bound round {round}"));
+        let instance = tie_heavy.generate(&mut rng).build();
+        assert_engines_agree(
+            &instance,
+            &format!("transfer-bound tie-heavy round {round}"),
+        );
+    }
+}
+
+#[test]
 fn sequence_executor_agrees_with_reference_on_random_orders() {
     // `simulate_sequence` swapped its front-popped Vec for a VecDeque; replay
     // shuffled orders against a naive full-scan executor.
