@@ -101,10 +101,41 @@ impl Trace {
         MemSize::from_bytes(self.tasks.iter().map(|t| t.mem_bytes).max().unwrap_or(0))
     }
 
+    /// Checks that the total communication-plus-computation time of the
+    /// trace fits in the `u64` tick arithmetic of the simulators. Every
+    /// schedule time is bounded by the fully sequential sum of all task
+    /// durations (no model stretches a task beyond `comm + comp`), so a
+    /// finite total guarantees overflow-free simulation; an overflowing
+    /// total would otherwise surface as a debug-build panic deep inside an
+    /// executor instead of a typed error at the trust boundary.
+    pub fn check_time_totals(&self) -> Result<()> {
+        let mut total: u64 = 0;
+        for task in &self.tasks {
+            total = task
+                .comm_micros
+                .checked_add(task.comp_micros)
+                .and_then(|t| total.checked_add(t))
+                .ok_or_else(|| {
+                    CoreError::InvalidTrace(format!(
+                        "total task time overflows u64 microseconds at task `{}`",
+                        task.name
+                    ))
+                })?;
+        }
+        Ok(())
+    }
+
     /// Converts the trace into a scheduling [`Instance`] with the given
     /// memory capacity. A model carried by the trace is attached to the
     /// instance, so every executor and heuristic honors it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTrace`] when the summed task times
+    /// overflow `u64` (see [`Trace::check_time_totals`]) — such a trace
+    /// cannot be simulated without wrapping the clock.
     pub fn to_instance(&self, capacity: MemSize) -> Result<Instance> {
+        self.check_time_totals()?;
         let tasks = self
             .tasks
             .iter()
@@ -247,6 +278,26 @@ mod tests {
             trace.to_instance_scaled(0.0),
             Err(CoreError::TaskExceedsCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn overflowing_time_totals_error_instead_of_wrapping() {
+        // Each task is fine on its own; the *sum* of their durations
+        // overflows u64, which used to wrap (release) or panic (debug)
+        // inside the executors instead of erroring at conversion time.
+        let mut trace = sample();
+        for task in &mut trace.tasks {
+            task.comm_micros = u64::MAX / 2;
+            task.comp_micros = u64::MAX / 2 - 1;
+        }
+        assert!(trace.check_time_totals().is_err());
+        assert!(matches!(
+            trace.to_instance_scaled(1.5),
+            Err(CoreError::InvalidTrace(_))
+        ));
+        // A single task saturating the clock is still representable.
+        trace.tasks.truncate(1);
+        assert!(trace.check_time_totals().is_ok());
     }
 
     #[test]

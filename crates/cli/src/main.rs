@@ -2,8 +2,12 @@
 //!
 //! Subcommands:
 //!
-//! * `dts generate <hf|ccsd> <dir> [n_ranks]` — generate a trace suite and
-//!   write one JSON trace file per rank;
+//! * `dts generate <kernel-or-family> <dir> [n_ranks]` — generate a trace
+//!   suite and write one JSON trace file per rank. Besides the chemistry
+//!   kernels `hf` and `ccsd`, the synthetic corpus families of
+//!   `dts_workloads` are accepted (`md`, `dense-la`, `tie-heavy`,
+//!   `memory-cliff`, `transfer-bound`) with `--tasks <n>`, `--seed <s>`
+//!   and (dense-la only) `--skew <x>`;
 //! * `dts characterize <trace.json>` — print the Fig. 8 workload
 //!   characterization of a trace;
 //! * `dts run <trace.json> <heuristic> [factor]` — run one heuristic on a
@@ -14,6 +18,12 @@
 //!   carries;
 //! * `dts sweep <trace.json>` — run every heuristic across the paper's
 //!   capacity sweep and print CSV rows;
+//! * `dts trace export <trace.json> <out.json>` — convert a trace to the
+//!   versioned on-disk format; `dts trace import <versioned.json>
+//!   <out.json>` — strictly validate a versioned file and convert it back;
+//! * `dts corpus [--update-golden] [--golden <path>]` — run the
+//!   golden-metric scenario suite (every heuristic × every execution model
+//!   over the full corpus) and diff it against the committed golden file;
 //! * `dts demo` — print the Gantt charts of the paper's Table 3–5 examples.
 
 use dts_analysis::report::sweep_to_csv;
@@ -25,6 +35,9 @@ use dts_core::metrics::ScheduleMetrics;
 use dts_core::{CoreError, ExecutionModel};
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
+use dts_workloads::corpus;
+use dts_workloads::families::{generate_trace, GeneratorConfig, WorkloadFamily};
+use dts_workloads::format;
 use std::process::ExitCode;
 
 /// Extracts an optional `--model <spec>` / `--model=<spec>` flag from `args`
@@ -51,6 +64,49 @@ fn take_model_flag(args: &[String]) -> Result<(Vec<String>, Option<ExecutionMode
     Ok((rest, model))
 }
 
+/// Extracts an optional `--<name> <value>` / `--<name>=<value>` flag from
+/// `args`, returning the remaining arguments and the raw value.
+fn take_value_flag(args: &[String], name: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let long = format!("--{name}");
+    let assign = format!("--{name}=");
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if *arg == long {
+            value = Some(
+                iter.next()
+                    .ok_or(format!("{long} expects a value"))?
+                    .clone(),
+            );
+        } else if let Some(v) = arg.strip_prefix(&assign) {
+            value = Some(v.to_string());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, value))
+}
+
+/// Extracts an optional boolean `--<name>` flag from `args`.
+fn take_bool_flag(args: &[String], name: &str) -> (Vec<String>, bool) {
+    let long = format!("--{name}");
+    let mut present = false;
+    let rest = args
+        .iter()
+        .filter(|arg| {
+            if **arg == long {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, present)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -58,21 +114,11 @@ fn main() -> ExitCode {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!(
-                "usage: dts <command>\n\
-                 \n\
-                 commands:\n\
-                 \x20 generate <hf|ccsd> <dir> [n_ranks]   generate a trace suite as JSON files\n\
-                 \x20 characterize <trace.json>             print the workload characterization\n\
-                 \x20 run <trace.json> <heuristic> [factor] run one heuristic at factor x mc\n\
-                 \x20 sweep <trace.json>                    run all heuristics across the capacity sweep (CSV)\n\
-                 \x20 demo                                  print the paper's example schedules\n\
-                 \n\
-                 options (generate, run):\n\
-                 \x20 --model <spec>  execution model: explicit | duplex | streams:<k> | implicit[:<eff>]"
-            );
+            eprint!("{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -85,13 +131,84 @@ fn main() -> ExitCode {
     }
 }
 
+/// The usage text, with every generator source enumerated: the chemistry
+/// kernels first, then each synthetic family with its one-line shape
+/// description from [`WorkloadFamily::description`].
+fn usage() -> String {
+    let mut families = String::new();
+    for family in WorkloadFamily::ALL {
+        families.push_str(&format!(
+            "\x20   {:<15} {}\n",
+            family.name(),
+            family.description()
+        ));
+    }
+    format!(
+        "usage: dts <command>\n\
+         \n\
+         commands:\n\
+         \x20 generate <source> <dir> [n_ranks]     generate a trace suite as JSON files\n\
+         \x20 characterize <trace.json>             print the workload characterization\n\
+         \x20 run <trace.json> <heuristic> [factor] run one heuristic at factor x mc\n\
+         \x20 sweep <trace.json>                    run all heuristics across the capacity sweep (CSV)\n\
+         \x20 trace export <trace.json> <out.json>  convert a trace to the versioned on-disk format\n\
+         \x20 trace import <in.json> <out.json>     strictly validate a versioned trace file\n\
+         \x20 corpus [--update-golden]              run the golden-metric scenario suite\n\
+         \x20 demo                                  print the paper's example schedules\n\
+         \n\
+         generate sources:\n\
+         \x20   hf              Hartree-Fock chemistry kernel (the paper's workload)\n\
+         \x20   ccsd            CCSD chemistry kernel (the paper's workload)\n\
+         {families}\
+         \n\
+         options (generate, run):\n\
+         \x20 --model <spec>  execution model: explicit | duplex | streams:<k> | implicit[:<eff>]\n\
+         options (generate, synthetic families only):\n\
+         \x20 --tasks <n>     tasks per rank (default per family)\n\
+         \x20 --seed <s>      base seed of the suite (default 0)\n\
+         \x20 --skew <x>      Zipf exponent, dense-la only (default 1.2)\n\
+         options (corpus):\n\
+         \x20 --golden <path> golden file to diff against (default: the committed one)\n\
+         \x20 --update-golden rewrite the golden file from this build (the only sanctioned change path)\n"
+    )
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let (args, model) = take_model_flag(args)?;
-    let kernel = match args.first().map(String::as_str) {
-        Some("hf") => Kernel::HartreeFock,
-        Some("ccsd") => Kernel::Ccsd,
-        _ => return Err("expected kernel 'hf' or 'ccsd'".into()),
+    let (args, tasks_flag) = take_value_flag(&args, "tasks")?;
+    let (args, seed_flag) = take_value_flag(&args, "seed")?;
+    let (args, skew_flag) = take_value_flag(&args, "skew")?;
+    let source = args.first().map(String::as_str).unwrap_or("");
+    let kernel = match source {
+        "hf" => Some(Kernel::HartreeFock),
+        "ccsd" => Some(Kernel::Ccsd),
+        _ => None,
     };
+    let family = WorkloadFamily::from_name(source);
+    if kernel.is_none() && family.is_none() {
+        let names: Vec<&str> = WorkloadFamily::ALL.iter().map(|f| f.name()).collect();
+        return Err(format!(
+            "unknown generator source '{source}'; expected hf, ccsd, {}",
+            names.join(", ")
+        ));
+    }
+    if kernel.is_some() {
+        // The chemistry suites are fixed reproductions of the paper's
+        // workload: their size comes from the topology argument and they
+        // have no tunable shape, so the synthetic-family flags are a
+        // usage error, not a silent no-op.
+        for (flag, value) in [
+            ("--tasks", &tasks_flag),
+            ("--seed", &seed_flag),
+            ("--skew", &skew_flag),
+        ] {
+            if value.is_some() {
+                return Err(format!(
+                    "{flag} only applies to the synthetic families, not the '{source}' kernel"
+                ));
+            }
+        }
+    }
     let dir = args.get(1).ok_or("expected an output directory")?;
     let n_ranks: usize = args
         .get(2)
@@ -101,6 +218,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     if n_ranks == 0 {
         return Err("n_ranks must be at least 1".into());
     }
+    if let Some(family) = family {
+        return generate_family_suite(
+            family,
+            dir,
+            n_ranks,
+            &tasks_flag,
+            &seed_flag,
+            &skew_flag,
+            model,
+        );
+    }
+    let kernel = kernel.unwrap_or(Kernel::HartreeFock);
     // Small 6-rank topology for quick suites, the paper's full 150-rank
     // topology beyond that. `generate_partial_suite` silently clamps to
     // the topology size, so reject a request even the full topology cannot
@@ -145,6 +274,137 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         traces.len()
     );
     Ok(())
+}
+
+/// Generates `n_ranks` traces of a synthetic corpus family. The flags are
+/// validated through [`GeneratorConfig::validate`], so `--skew` on a
+/// family that does not support it fails with the same typed message the
+/// library reports.
+fn generate_family_suite(
+    family: WorkloadFamily,
+    dir: &str,
+    n_ranks: usize,
+    tasks_flag: &Option<String>,
+    seed_flag: &Option<String>,
+    skew_flag: &Option<String>,
+    model: Option<ExecutionModel>,
+) -> Result<(), String> {
+    let mut config = GeneratorConfig::new(family);
+    if let Some(tasks) = tasks_flag {
+        config.n_tasks = tasks
+            .parse()
+            .map_err(|_| format!("--tasks must be a positive integer, got '{tasks}'"))?;
+    }
+    if let Some(seed) = seed_flag {
+        config.seed = seed
+            .parse()
+            .map_err(|_| format!("--seed must be a non-negative integer, got '{seed}'"))?;
+    }
+    if let Some(skew) = skew_flag {
+        config.skew = Some(
+            skew.parse()
+                .map_err(|_| format!("--skew must be a number, got '{skew}'"))?,
+        );
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    for rank in 0..n_ranks {
+        let mut trace = generate_trace(&config, rank).map_err(|e| e.to_string())?;
+        if let Some(model) = model {
+            trace.model = Some(model);
+        }
+        let path = format!("{dir}/{}-rank{rank:03}.json", family.name());
+        trace.save(&path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {path} ({} tasks, mc = {})",
+            trace.len(),
+            trace.min_capacity()
+        );
+    }
+    println!("generated {n_ranks} {family} ranks in {dir}");
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (verb, input, output) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(verb), Some(input), Some(output)) if args.len() == 3 => {
+            (verb.as_str(), input, output)
+        }
+        _ => return Err("usage: dts trace <import|export> <input.json> <output.json>".into()),
+    };
+    match verb {
+        "export" => {
+            // Accept what `dts generate` writes, re-emit versioned.
+            let trace = load_trace(input)?;
+            format::export_file(&trace, output)
+                .map_err(|e| format!("cannot export {input}: {e}"))?;
+            println!(
+                "exported {input} -> {output} (dts-trace v{}, {} tasks)",
+                format::FORMAT_VERSION,
+                trace.len()
+            );
+        }
+        "import" => {
+            // Strictly validate the versioned file, re-emit what the rest
+            // of the toolchain (`dts run`, `dts sweep`) reads.
+            let trace =
+                format::import_file(input).map_err(|e| format!("cannot import {input}: {e}"))?;
+            trace.save(output).map_err(|e| e.to_string())?;
+            println!(
+                "imported {input} -> {output} ({} tasks, kernel {}, mc = {})",
+                trace.len(),
+                trace.kernel,
+                trace.min_capacity()
+            );
+        }
+        other => {
+            return Err(format!(
+                "unknown trace subcommand '{other}'; expected 'import' or 'export'"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let (args, update) = take_bool_flag(args, "update-golden");
+    let (args, golden_flag) = take_value_flag(&args, "golden")?;
+    if let Some(stray) = args.first() {
+        return Err(format!(
+            "unexpected argument '{stray}'; usage: dts corpus [--update-golden] [--golden <path>]"
+        ));
+    }
+    let golden_path = golden_flag
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(corpus::default_golden_path);
+    let current = corpus::run_corpus().map_err(|e| e.to_string())?;
+    if update {
+        std::fs::write(&golden_path, corpus::render_golden(&current)).map_err(|e| e.to_string())?;
+        println!(
+            "blessed {} corpus entries into {}",
+            current.len(),
+            golden_path.display()
+        );
+        return Ok(());
+    }
+    let golden_json = std::fs::read_to_string(&golden_path).map_err(|e| {
+        format!(
+            "cannot read golden file {}: {e}\n(run `dts corpus --update-golden` to create it)",
+            golden_path.display()
+        )
+    })?;
+    let golden = corpus::parse_golden(&golden_json).map_err(|e| e.to_string())?;
+    let report = corpus::compare(&current, &golden);
+    if report.is_clean() {
+        println!(
+            "corpus clean: {} entries match {}",
+            current.len(),
+            golden_path.display()
+        );
+        Ok(())
+    } else {
+        Err(format!("corpus drifted from golden:\n{}", report.render()))
+    }
 }
 
 fn load_trace(path: &str) -> Result<Trace, String> {

@@ -267,3 +267,259 @@ fn generate_rejects_malformed_execution_models() {
     );
     assert_eq!(std::fs::read_dir(scratch.path()).unwrap().count(), 0);
 }
+
+const FAMILIES: [&str; 5] = [
+    "md",
+    "dense-la",
+    "tie-heavy",
+    "memory-cliff",
+    "transfer-bound",
+];
+
+#[test]
+fn usage_enumerates_every_generator_source() {
+    let output = dts(&[]);
+    assert_eq!(output.status.code(), Some(2));
+    let usage = stderr(&output);
+    for source in ["hf", "ccsd"].iter().chain(FAMILIES.iter()) {
+        assert!(usage.contains(source), "usage does not list '{source}'");
+    }
+    for command in ["trace export", "trace import", "corpus"] {
+        assert!(usage.contains(command), "usage does not list '{command}'");
+    }
+}
+
+#[test]
+fn generate_names_every_family_on_an_unknown_source() {
+    let scratch = ScratchDir::new("generate-unknown-source");
+    let output = dts(&["generate", "bogus", scratch.path().to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(1));
+    let message = stderr(&output);
+    for source in ["hf", "ccsd"].iter().chain(FAMILIES.iter()) {
+        assert!(
+            message.contains(source),
+            "diagnostic {message:?} does not list '{source}'"
+        );
+    }
+}
+
+#[test]
+fn generate_rejects_family_flags_on_chemistry_kernels() {
+    let scratch = ScratchDir::new("generate-kernel-flags");
+    let dir = scratch.path().to_str().unwrap();
+    for flag in [["--tasks", "10"], ["--seed", "3"], ["--skew", "1.2"]] {
+        let output = dts(&["generate", "hf", dir, "1", flag[0], flag[1]]);
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "{} on hf should exit 1",
+            flag[0]
+        );
+        let message = stderr(&output);
+        assert!(
+            message.contains(flag[0]) && message.contains("synthetic families"),
+            "{}: unexpected diagnostic {message:?}",
+            flag[0]
+        );
+    }
+    assert_eq!(std::fs::read_dir(scratch.path()).unwrap().count(), 0);
+}
+
+#[test]
+fn generate_rejects_invalid_family_parameters() {
+    let scratch = ScratchDir::new("generate-bad-family-params");
+    let dir = scratch.path().to_str().unwrap();
+    // Skew only exists on dense-la.
+    let output = dts(&["generate", "md", dir, "1", "--skew", "1.5"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("dense-la"),
+        "unexpected diagnostic: {:?}",
+        stderr(&output)
+    );
+    // Degenerate parameter values are clean errors, not panics.
+    for args in [
+        ["dense-la", "--skew", "0"],
+        ["dense-la", "--skew", "nope"],
+        ["md", "--tasks", "0"],
+        ["md", "--tasks", "-5"],
+        ["md", "--seed", "minus-one"],
+    ] {
+        let output = dts(&["generate", args[0], dir, "1", args[1], args[2]]);
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "{args:?} should exit 1, got {:?}",
+            output.status
+        );
+        assert!(
+            !stderr(&output).contains("panicked"),
+            "{args:?} panicked: {}",
+            stderr(&output)
+        );
+    }
+    assert_eq!(std::fs::read_dir(scratch.path()).unwrap().count(), 0);
+}
+
+#[test]
+fn every_family_round_trips_through_export_import_under_every_model() {
+    // generate → trace export → trace import must reproduce the generated
+    // file byte for byte, and running the re-imported trace must produce
+    // the identical schedule report.
+    let scratch = ScratchDir::new("family-round-trip");
+    for family in FAMILIES {
+        for model in ["explicit", "duplex", "streams:4", "implicit"] {
+            let dir = scratch
+                .path()
+                .join(format!("{family}-{}", model.replace(':', "_")));
+            let dir_str = dir.to_str().unwrap();
+            let output = dts(&[
+                "generate", family, dir_str, "1", "--tasks", "40", "--seed", "5", "--model", model,
+            ]);
+            assert!(
+                output.status.success(),
+                "generate {family} --model {model}: {}",
+                stderr(&output)
+            );
+            let generated = dir.join(format!("{family}-rank000.json"));
+            let versioned = dir.join("versioned.json");
+            let reimported = dir.join("reimported.json");
+            let output = dts(&[
+                "trace",
+                "export",
+                generated.to_str().unwrap(),
+                versioned.to_str().unwrap(),
+            ]);
+            assert!(output.status.success(), "export: {}", stderr(&output));
+            assert!(
+                std::fs::read_to_string(&versioned)
+                    .unwrap()
+                    .contains("\"format\": \"dts-trace\""),
+                "export did not write the versioned format"
+            );
+            let output = dts(&[
+                "trace",
+                "import",
+                versioned.to_str().unwrap(),
+                reimported.to_str().unwrap(),
+            ]);
+            assert!(output.status.success(), "import: {}", stderr(&output));
+            assert_eq!(
+                std::fs::read(&generated).unwrap(),
+                std::fs::read(&reimported).unwrap(),
+                "{family} --model {model}: round trip is not byte-identical"
+            );
+            let run_original = dts(&["run", generated.to_str().unwrap(), "LCMR", "1.5"]);
+            let run_back = dts(&["run", reimported.to_str().unwrap(), "LCMR", "1.5"]);
+            assert!(run_original.status.success(), "{}", stderr(&run_original));
+            assert!(run_back.status.success(), "{}", stderr(&run_back));
+            assert_eq!(
+                stdout(&run_original),
+                stdout(&run_back),
+                "{family} --model {model}: schedules differ after the round trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_import_rejects_malformed_files_cleanly() {
+    let scratch = ScratchDir::new("trace-import-malformed");
+    let out = scratch.path().join("out.json");
+    let cases: &[(&str, &str)] = &[
+        ("unversioned", r#"{"kernel": "HF", "rank": 0, "tasks": []}"#),
+        (
+            "future-version",
+            r#"{"format": "dts-trace", "version": 99, "kernel": "HF", "rank": 0, "tasks": []}"#,
+        ),
+        (
+            "float-time",
+            r#"{"format": "dts-trace", "version": 1, "kernel": "HF", "rank": 0, "tasks": [{"name": "t", "kind": "Contraction", "comm_micros": 1.5, "comp_micros": 1, "mem_bytes": 1}]}"#,
+        ),
+        (
+            "negative-memory",
+            r#"{"format": "dts-trace", "version": 1, "kernel": "HF", "rank": 0, "tasks": [{"name": "t", "kind": "Contraction", "comm_micros": 1, "comp_micros": 1, "mem_bytes": -4}]}"#,
+        ),
+        (
+            "duplicate-ids",
+            r#"{"format": "dts-trace", "version": 1, "kernel": "HF", "rank": 0, "tasks": [{"name": "t", "kind": "Contraction", "comm_micros": 1, "comp_micros": 1, "mem_bytes": 1}, {"name": "t", "kind": "Contraction", "comm_micros": 2, "comp_micros": 2, "mem_bytes": 2}]}"#,
+        ),
+        ("truncated", r#"{"format": "dts-trace", "ver"#),
+    ];
+    for (label, json) in cases {
+        let path = scratch.path().join(format!("{label}.json"));
+        std::fs::write(&path, json).unwrap();
+        let output = dts(&[
+            "trace",
+            "import",
+            path.to_str().unwrap(),
+            out.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "{label} should exit 1, got {:?}",
+            output.status
+        );
+        let message = stderr(&output);
+        assert!(
+            message.contains("error:") && !message.contains("panicked"),
+            "{label}: unexpected diagnostic {message:?}"
+        );
+        assert!(
+            !out.exists(),
+            "{label}: import wrote output despite failing"
+        );
+    }
+}
+
+#[test]
+fn run_rejects_corrupted_trace_files_cleanly() {
+    let scratch = ScratchDir::new("run-corrupted");
+    let trace = generate_one_trace(scratch.path());
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let corrupted = scratch.path().join("corrupted.json");
+    std::fs::write(&corrupted, &json[..json.len() / 2]).unwrap();
+    let output = dts(&["run", corrupted.to_str().unwrap(), "MAMR", "1.5"]);
+    assert_eq!(output.status.code(), Some(1));
+    let message = stderr(&output);
+    assert!(
+        message.contains("error:") && !message.contains("panicked"),
+        "unexpected diagnostic: {message:?}"
+    );
+}
+
+#[test]
+fn corpus_golden_workflow_blesses_verifies_and_catches_tampering() {
+    let scratch = ScratchDir::new("corpus-golden");
+    let golden = scratch.path().join("golden.json");
+    let golden_str = golden.to_str().unwrap();
+    // Without a golden file the suite fails and names the fix.
+    let output = dts(&["corpus", "--golden", golden_str]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("--update-golden"));
+    // Blessing writes the file; a subsequent check is clean.
+    let output = dts(&["corpus", "--update-golden", "--golden", golden_str]);
+    assert!(output.status.success(), "bless: {}", stderr(&output));
+    assert!(stdout(&output).contains("blessed"));
+    let output = dts(&["corpus", "--golden", golden_str]);
+    assert!(output.status.success(), "verify: {}", stderr(&output));
+    assert!(stdout(&output).contains("corpus clean"));
+    // Any tampering with a metric value fails the check and names the
+    // sanctioned change path.
+    let text = std::fs::read_to_string(&golden).unwrap();
+    let tampered = text.replacen("\"makespan_us\": ", "\"makespan_us\": 1", 1);
+    assert_ne!(text, tampered, "tamper had no effect");
+    std::fs::write(&golden, tampered).unwrap();
+    let output = dts(&["corpus", "--golden", golden_str]);
+    assert_eq!(output.status.code(), Some(1));
+    let message = stderr(&output);
+    assert!(
+        message.contains("drift") && message.contains("--update-golden"),
+        "unexpected diagnostic: {message:?}"
+    );
+    // Stray positional arguments are a usage error.
+    let output = dts(&["corpus", "extra"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("unexpected argument"));
+}

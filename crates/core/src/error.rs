@@ -38,6 +38,13 @@ pub enum CoreError {
     /// count, non-finite or out-of-range overlap efficiency). Stored
     /// pre-formatted so the error stays `Eq` despite the `f64` origin.
     InvalidExecutionModel(String),
+    /// A trace file is malformed *as a trace*, even though it may be valid
+    /// JSON: unknown format version, non-integer or negative task fields,
+    /// duplicate task names, or totals that overflow the `u64` tick/byte
+    /// arithmetic the simulators rely on. Kept distinct from
+    /// [`CoreError::Serialization`] (which covers I/O and JSON syntax) so
+    /// the strict trace importer can report *what* is wrong with the data.
+    InvalidTrace(String),
     /// A schedule was found infeasible; the message summarizes the first
     /// violation.
     Infeasible(String),
@@ -73,6 +80,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidExecutionModel(msg) => {
                 write!(f, "invalid execution model: {msg}")
             }
+            CoreError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
             CoreError::Infeasible(msg) => write!(f, "infeasible schedule: {msg}"),
             CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -106,5 +114,7 @@ mod tests {
         assert!(e.to_string().contains("invalid capacity factor NaN"));
         let e = CoreError::InvalidExecutionModel("bad spec".into());
         assert!(e.to_string().contains("invalid execution model: bad spec"));
+        let e = CoreError::InvalidTrace("duplicate task name `a`".into());
+        assert!(e.to_string().contains("invalid trace: duplicate task name"));
     }
 }

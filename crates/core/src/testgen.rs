@@ -108,6 +108,25 @@ pub fn transfer_bound_tie_heavy_task_gen() -> TaskGen {
     task_gen(3..=5, 0..=1, 1..=3)
 }
 
+/// A memory-cliff task domain: every task needs more than half of the
+/// largest task's memory, so with tight capacity slack (see
+/// [`memory_cliff_instance_gen`]) almost no two tasks coexist in memory —
+/// the schedule degenerates to near-sequential execution punctuated by
+/// memory-blocked decisions, the regime where the candidate index's
+/// memory filtering does all the work.
+pub fn memory_cliff_task_gen() -> TaskGen {
+    task_gen(0..=30, 0..=30, 8..=16)
+}
+
+/// Instances from the [`memory_cliff_task_gen`] domain with at most one
+/// byte of capacity slack: since every task needs 8–16 bytes and the
+/// capacity is the largest task plus the slack (at most 17), two tasks fit
+/// together only when both sit near the domain's low end while the
+/// largest task sits at its top.
+pub fn memory_cliff_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {
+    instance_gen_with(memory_cliff_task_gen(), len, 0..=1)
+}
+
 /// Instances from the [`transfer_bound_task_gen`] domain with tight
 /// capacity slack, so memory waits interleave with channel contention.
 pub fn transfer_bound_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {
@@ -302,6 +321,31 @@ mod tests {
                     .all(|t| t.mem <= instance.capacity()));
             }
         }
+    }
+
+    #[test]
+    fn memory_cliff_instances_rarely_fit_two_tasks() {
+        let gen = memory_cliff_instance_gen(2..=12);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut pairs, mut blocked) = (0u64, 0u64);
+        for _ in 0..50 {
+            let spec = gen.generate(&mut rng);
+            let capacity = spec.capacity();
+            for window in spec.tasks.windows(2) {
+                pairs += 1;
+                let pair = window[0].mem.checked_add(window[1].mem);
+                if pair.is_none_or(|sum| sum > capacity) {
+                    blocked += 1;
+                }
+            }
+        }
+        // The cliff shape: the strong majority of adjacent pairs cannot
+        // coexist in memory (both tasks need > half the capacity unless
+        // both sit at the domain's low end).
+        assert!(
+            blocked * 10 >= pairs * 6,
+            "only {blocked}/{pairs} pairs were memory-blocked"
+        );
     }
 
     #[test]

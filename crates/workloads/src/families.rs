@@ -1,0 +1,405 @@
+//! The generator families of the workload corpus.
+//!
+//! The paper evaluates its heuristics only on HF/CCSD integral-kernel
+//! traces, which pins every scheduling claim to one communication /
+//! computation / memory shape. The families here bracket the space from
+//! both ends, following the related work named in `PAPERS.md`:
+//!
+//! * [`WorkloadFamily::MdLike`] — short-range molecular-dynamics kernels
+//!   (MD-Bench): thousands of near-uniform tiny tasks with a narrow
+//!   communication/computation spread and low memory pressure.
+//! * [`WorkloadFamily::DenseLa`] — dense-linear-algebra panels (the Cray
+//!   XE performance-model regime): few tasks, Zipf-skewed computation
+//!   times, memory footprints near the machine capacity.
+//! * [`WorkloadFamily::TieHeavy`], [`WorkloadFamily::MemoryCliff`],
+//!   [`WorkloadFamily::TransferBound`] — the adversarial domains promoted
+//!   from [`dts_core::testgen`]: the property-test generators that stress
+//!   id tie-breaking, memory-blocked decisions and link contention now
+//!   also emit full [`Trace`]s so the scenario suite and the CLI can run
+//!   them like any other workload.
+//!
+//! Every family is seeded and parameterized: the same
+//! [`GeneratorConfig`] and rank always produce a byte-identical trace
+//! (the generator-invariant property tests pin this), and each family
+//! declares shape invariants (spread bounds, skew ratios, duplicate-comm
+//! fractions) that the tests enforce.
+
+use dts_chem::trace::TaskKind;
+use dts_chem::{Trace, TraceTask};
+use dts_core::prelude::*;
+use dts_core::testgen;
+use microcheck::Gen;
+use rand::prelude::*;
+use std::fmt;
+
+/// Hard ceiling on the number of tasks a single generated trace may hold,
+/// so a typo'd CLI argument cannot ask for a terabyte of task records.
+pub const MAX_TASKS: usize = 10_000_000;
+
+/// Default Zipf exponent of the dense-LA family (`comp_i ∝ (i+1)^-s`).
+pub const DEFAULT_DENSE_LA_SKEW: f64 = 1.2;
+
+/// A synthetic workload family of the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadFamily {
+    /// MD-Bench-like neighbor-list kernels: many tiny, near-uniform tasks.
+    MdLike,
+    /// Dense-linear-algebra panels: few tasks, Zipf-skewed computation,
+    /// memory footprints near capacity.
+    DenseLa,
+    /// Tie-heavy adversarial domain (promoted from
+    /// [`testgen::tie_heavy_task_gen`]): tiny value ranges force equal
+    /// communication times, ratios and footprints everywhere.
+    TieHeavy,
+    /// Memory-cliff adversarial domain (promoted from
+    /// [`testgen::memory_cliff_task_gen`]): almost no two tasks coexist in
+    /// memory.
+    MemoryCliff,
+    /// Transfer-bound adversarial domain (promoted from
+    /// [`testgen::transfer_bound_task_gen`]): communication dominates, the
+    /// link is the bottleneck.
+    TransferBound,
+}
+
+impl WorkloadFamily {
+    /// Every synthetic family, in corpus order.
+    pub const ALL: [WorkloadFamily; 5] = [
+        WorkloadFamily::MdLike,
+        WorkloadFamily::DenseLa,
+        WorkloadFamily::TieHeavy,
+        WorkloadFamily::MemoryCliff,
+        WorkloadFamily::TransferBound,
+    ];
+
+    /// CLI name of the family (`dts generate <name> ...`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadFamily::MdLike => "md",
+            WorkloadFamily::DenseLa => "dense-la",
+            WorkloadFamily::TieHeavy => "tie-heavy",
+            WorkloadFamily::MemoryCliff => "memory-cliff",
+            WorkloadFamily::TransferBound => "transfer-bound",
+        }
+    }
+
+    /// The `kernel` label stamped into generated traces (the synthetic
+    /// counterpart of the chemistry generators' `"HF"` / `"CCSD"`).
+    pub fn kernel_label(self) -> &'static str {
+        match self {
+            WorkloadFamily::MdLike => "MD",
+            WorkloadFamily::DenseLa => "DENSE-LA",
+            WorkloadFamily::TieHeavy => "TIE-HEAVY",
+            WorkloadFamily::MemoryCliff => "MEMORY-CLIFF",
+            WorkloadFamily::TransferBound => "TRANSFER-BOUND",
+        }
+    }
+
+    /// One-line description used by the CLI help text.
+    pub fn description(self) -> &'static str {
+        match self {
+            WorkloadFamily::MdLike => {
+                "many tiny near-uniform tasks, narrow comm/comp spread, low memory pressure"
+            }
+            WorkloadFamily::DenseLa => {
+                "few tasks, Zipf-skewed computation, memory footprints near capacity"
+            }
+            WorkloadFamily::TieHeavy => {
+                "adversarial: tiny value ranges force ties everywhere (from testgen)"
+            }
+            WorkloadFamily::MemoryCliff => {
+                "adversarial: almost no two tasks coexist in memory (from testgen)"
+            }
+            WorkloadFamily::TransferBound => {
+                "adversarial: communication dominates, the link is the bottleneck (from testgen)"
+            }
+        }
+    }
+
+    /// Parses a family from its CLI name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<WorkloadFamily> {
+        let lower = name.to_ascii_lowercase();
+        WorkloadFamily::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == lower)
+    }
+
+    /// Default task count of the family: thousands for the MD-like shape,
+    /// a few dozen for dense LA, a few hundred for the adversarial
+    /// domains.
+    pub fn default_tasks(self) -> usize {
+        match self {
+            WorkloadFamily::MdLike => 2000,
+            WorkloadFamily::DenseLa => 32,
+            WorkloadFamily::TieHeavy => 400,
+            WorkloadFamily::MemoryCliff => 256,
+            WorkloadFamily::TransferBound => 400,
+        }
+    }
+
+    /// `true` iff the family accepts the Zipf `--skew` parameter.
+    pub fn supports_skew(self) -> bool {
+        matches!(self, WorkloadFamily::DenseLa)
+    }
+}
+
+impl fmt::Display for WorkloadFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified, seeded generator invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// The family to draw from.
+    pub family: WorkloadFamily,
+    /// Number of tasks in the trace.
+    pub n_tasks: usize,
+    /// Base seed; the per-rank seed is derived from it, so one config
+    /// yields a whole suite of distinct but reproducible traces.
+    pub seed: u64,
+    /// Zipf exponent of the dense-LA family. Must be `None` for every
+    /// other family ([`GeneratorConfig::validate`] enforces this).
+    pub skew: Option<f64>,
+}
+
+impl GeneratorConfig {
+    /// The default configuration of a family.
+    pub fn new(family: WorkloadFamily) -> Self {
+        GeneratorConfig {
+            family,
+            n_tasks: family.default_tasks(),
+            seed: 0,
+            skew: None,
+        }
+    }
+
+    /// Checks the parameter set against the family: a positive, bounded
+    /// task count everywhere, and `skew` only on families that declare
+    /// support for it (finite and positive when present).
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |msg: String| CoreError::InvalidTrace(msg);
+        if self.n_tasks == 0 {
+            return Err(invalid(format!(
+                "family '{}' needs at least one task",
+                self.family
+            )));
+        }
+        if self.n_tasks > MAX_TASKS {
+            return Err(invalid(format!(
+                "{} tasks requested, but generated traces are capped at {MAX_TASKS}",
+                self.n_tasks
+            )));
+        }
+        match self.skew {
+            Some(_) if !self.family.supports_skew() => Err(invalid(format!(
+                "family '{}' takes no skew parameter (only 'dense-la' does)",
+                self.family
+            ))),
+            Some(s) if !s.is_finite() || s <= 0.0 => Err(invalid(format!(
+                "skew {s} must be a finite positive number"
+            ))),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Mixes the base seed with the rank so every rank of a suite gets an
+/// independent, reproducible stream (splitmix-style odd multiplier).
+fn rank_seed(seed: u64, rank: usize) -> u64 {
+    seed.wrapping_add((rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generates one trace of the configured family for a rank.
+///
+/// Determinism contract: the same `(config, rank)` pair always produces a
+/// byte-identical trace (same task order, names, values), across runs and
+/// platforms — the golden corpus suite depends on it.
+pub fn generate_trace(config: &GeneratorConfig, rank: usize) -> Result<Trace> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(rank_seed(config.seed, rank));
+    let tasks = match config.family {
+        WorkloadFamily::MdLike => md_tasks(config.n_tasks, &mut rng),
+        WorkloadFamily::DenseLa => dense_la_tasks(
+            config.n_tasks,
+            config.skew.unwrap_or(DEFAULT_DENSE_LA_SKEW),
+            &mut rng,
+        ),
+        WorkloadFamily::TieHeavy => promoted_tasks(
+            testgen::tie_heavy_task_gen(),
+            "tie",
+            config.n_tasks,
+            &mut rng,
+        ),
+        WorkloadFamily::MemoryCliff => promoted_tasks(
+            testgen::memory_cliff_task_gen(),
+            "cliff",
+            config.n_tasks,
+            &mut rng,
+        ),
+        WorkloadFamily::TransferBound => promoted_tasks(
+            testgen::transfer_bound_task_gen(),
+            "xfer",
+            config.n_tasks,
+            &mut rng,
+        ),
+    };
+    Ok(Trace {
+        kernel: config.family.kernel_label().to_string(),
+        rank,
+        tasks,
+        model: None,
+    })
+}
+
+/// MD-like bounds, exposed so the shape-invariant tests and the generator
+/// share one source of truth: `(comm_lo, comm_hi, comp_lo, comp_hi,
+/// mem_lo, mem_hi)` in µs and bytes.
+pub const MD_BOUNDS: (u64, u64, u64, u64, u64, u64) = (90, 110, 40, 60, 4096, 5120);
+
+fn md_tasks(n: usize, rng: &mut StdRng) -> Vec<TraceTask> {
+    let (comm_lo, comm_hi, comp_lo, comp_hi, mem_lo, mem_hi) = MD_BOUNDS;
+    (0..n)
+        .map(|i| TraceTask {
+            name: format!("md({i})"),
+            kind: TaskKind::Contraction,
+            comm_micros: rng.gen_range(comm_lo..=comm_hi),
+            comp_micros: rng.gen_range(comp_lo..=comp_hi),
+            mem_bytes: rng.gen_range(mem_lo..=mem_hi),
+        })
+        .collect()
+}
+
+/// Dense-LA constants: the largest panel computes for [`DENSE_LA_COMP_BASE`]
+/// µs (scaled down the Zipf tail, floored at [`DENSE_LA_COMP_FLOOR`]), and
+/// every panel's input occupies 75–100 % of [`DENSE_LA_MEM_MAX`] bytes,
+/// transferred at [`DENSE_LA_BYTES_PER_MICRO`] bytes/µs.
+pub const DENSE_LA_COMP_BASE: u64 = 4_000_000;
+/// Smallest computation time of a dense-LA panel, µs.
+pub const DENSE_LA_COMP_FLOOR: u64 = 20_000;
+/// Largest dense-LA panel footprint, bytes (2 GiB).
+pub const DENSE_LA_MEM_MAX: u64 = 2 << 30;
+/// Modeled link bandwidth of the dense-LA family, bytes per µs.
+pub const DENSE_LA_BYTES_PER_MICRO: u64 = 1024;
+
+fn dense_la_tasks(n: usize, skew: f64, rng: &mut StdRng) -> Vec<TraceTask> {
+    // Zipf-skewed computation times: panel i (by weight rank) computes for
+    // base * (i+1)^-skew µs. glibc's `pow` is correctly rounded, so the
+    // weights — and therefore the golden corpus metrics — are bit-stable.
+    let mut comps: Vec<u64> = (0..n)
+        .map(|i| {
+            let weight = ((i + 1) as f64).powf(-skew);
+            (DENSE_LA_COMP_BASE as f64 * weight).round() as u64 + DENSE_LA_COMP_FLOOR
+        })
+        .collect();
+    // The submission order must not leak the weight rank (real panel
+    // queues are not sorted by cost), so shuffle deterministically.
+    comps.shuffle(rng);
+    comps
+        .into_iter()
+        .enumerate()
+        .map(|(i, comp_micros)| {
+            let mem_bytes = rng.gen_range(DENSE_LA_MEM_MAX * 3 / 4..=DENSE_LA_MEM_MAX);
+            TraceTask {
+                name: format!("panel({i})"),
+                kind: TaskKind::Contraction,
+                comm_micros: mem_bytes / DENSE_LA_BYTES_PER_MICRO,
+                comp_micros,
+                mem_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Ticks per abstract [`testgen`] unit when a property-test domain is
+/// promoted to a trace: [`Time::units_int`] uses 1000 ticks per unit and
+/// traces store microseconds (1 tick = 1 µs), so a promoted trace builds
+/// the exact instance the property tests would.
+pub const PROMOTED_MICROS_PER_UNIT: u64 = Time::TICKS_PER_UNIT;
+
+fn promoted_tasks(
+    gen: testgen::TaskGen,
+    prefix: &str,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<TraceTask> {
+    (0..n)
+        .map(|i| {
+            let spec = gen.generate(rng);
+            TraceTask {
+                name: format!("{prefix}({i})"),
+                kind: TaskKind::Contraction,
+                comm_micros: spec.comm * PROMOTED_MICROS_PER_UNIT,
+                comp_micros: spec.comp * PROMOTED_MICROS_PER_UNIT,
+                mem_bytes: spec.mem,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_describe() {
+        for family in WorkloadFamily::ALL {
+            assert_eq!(WorkloadFamily::from_name(family.name()), Some(family));
+            assert_eq!(
+                WorkloadFamily::from_name(&family.name().to_uppercase()),
+                Some(family)
+            );
+            assert!(!family.description().is_empty());
+            assert!(!family.kernel_label().is_empty());
+        }
+        assert_eq!(WorkloadFamily::from_name("hf"), None);
+        assert_eq!(WorkloadFamily::from_name("nope"), None);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_parameter_sets() {
+        let mut config = GeneratorConfig::new(WorkloadFamily::MdLike);
+        assert!(config.validate().is_ok());
+        config.n_tasks = 0;
+        assert!(config.validate().is_err());
+        config.n_tasks = MAX_TASKS + 1;
+        assert!(config.validate().is_err());
+        config.n_tasks = 10;
+        config.skew = Some(1.5);
+        // Skew on a non-dense-LA family is a parameter error.
+        assert!(matches!(config.validate(), Err(CoreError::InvalidTrace(_))));
+        config.family = WorkloadFamily::DenseLa;
+        assert!(config.validate().is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            config.skew = Some(bad);
+            assert!(config.validate().is_err(), "skew {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn every_family_generates_its_configured_task_count() {
+        for family in WorkloadFamily::ALL {
+            let mut config = GeneratorConfig::new(family);
+            config.n_tasks = 50;
+            config.seed = 7;
+            let trace = generate_trace(&config, 0).unwrap();
+            assert_eq!(trace.len(), 50);
+            assert_eq!(trace.kernel, family.kernel_label());
+            assert_eq!(trace.rank, 0);
+            assert!(trace.model.is_none());
+            // The trace converts into a feasible instance at factor 1.
+            let instance = trace.to_instance_scaled(1.0).unwrap();
+            assert_eq!(instance.len(), 50);
+        }
+    }
+
+    #[test]
+    fn ranks_differ_but_are_reproducible() {
+        let config = GeneratorConfig::new(WorkloadFamily::TransferBound);
+        let rank0 = generate_trace(&config, 0).unwrap();
+        let rank1 = generate_trace(&config, 1).unwrap();
+        assert_ne!(rank0.tasks, rank1.tasks, "ranks share a stream");
+        assert_eq!(rank0, generate_trace(&config, 0).unwrap());
+    }
+}
