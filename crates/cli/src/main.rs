@@ -24,6 +24,11 @@
 //! * `dts corpus [--update-golden] [--golden <path>]` — run the
 //!   golden-metric scenario suite (every heuristic × every execution model
 //!   over the full corpus) and diff it against the committed golden file;
+//! * `dts serve [--addr <host:port>] [...]` — run the scheduling daemon
+//!   (length-framed JSON over TCP, instance caching, admission control);
+//!   it prints the bound address — `--addr 127.0.0.1:0` picks a free port;
+//! * `dts request <addr> <trace.json|family> <heuristic> [factor]` — send
+//!   one scheduling request to a running daemon and print the reply;
 //! * `dts demo` — print the Gantt charts of the paper's Table 3–5 examples.
 
 use dts_analysis::report::sweep_to_csv;
@@ -35,9 +40,12 @@ use dts_core::metrics::ScheduleMetrics;
 use dts_core::{CoreError, ExecutionModel};
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
+use dts_server::{Client, Server, ServerConfig, SolveRequest, TraceSource};
 use dts_workloads::corpus;
 use dts_workloads::families::{generate_trace, GeneratorConfig, WorkloadFamily};
 use dts_workloads::format;
+use serde::{Deserialize, Value};
+use std::io::Write as _;
 use std::process::ExitCode;
 
 /// Extracts an optional `--model <spec>` / `--model=<spec>` flag from `args`
@@ -116,6 +124,8 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprint!("{}", usage());
@@ -154,6 +164,8 @@ fn usage() -> String {
          \x20 trace export <trace.json> <out.json>  convert a trace to the versioned on-disk format\n\
          \x20 trace import <in.json> <out.json>     strictly validate a versioned trace file\n\
          \x20 corpus [--update-golden]              run the golden-metric scenario suite\n\
+         \x20 serve [--addr <host:port>]            run the scheduling daemon\n\
+         \x20 request <addr> <source> <heuristic> [factor]  query a running daemon\n\
          \x20 demo                                  print the paper's example schedules\n\
          \n\
          generate sources:\n\
@@ -169,7 +181,17 @@ fn usage() -> String {
          \x20 --skew <x>      Zipf exponent, dense-la only (default 1.2)\n\
          options (corpus):\n\
          \x20 --golden <path> golden file to diff against (default: the committed one)\n\
-         \x20 --update-golden rewrite the golden file from this build (the only sanctioned change path)\n"
+         \x20 --update-golden rewrite the golden file from this build (the only sanctioned change path)\n\
+         options (serve):\n\
+         \x20 --addr <host:port>    bind address (default 127.0.0.1:7421; port 0 picks a free port)\n\
+         \x20 --threads <n>         solver threads per batch (default: available parallelism)\n\
+         \x20 --queue-depth <n>     pending-request ceiling before load shedding (default 256)\n\
+         \x20 --max-tasks <n>       per-request task-count ceiling (default 65536)\n\
+         \x20 --cache-entries <n>   solved-instance cache bound (default 512)\n\
+         options (request):\n\
+         \x20 <source> is a trace JSON file or a synthetic family name\n\
+         \x20 --model <spec>  execution-model override, as for run\n\
+         \x20 --tasks/--seed/--skew/--rank  family parameters, as for generate\n"
     )
 }
 
@@ -405,6 +427,165 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("corpus drifted from golden:\n{}", report.render()))
     }
+}
+
+/// Parses a numeric flag value with a flag-specific error message.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{flag} expects a number, got '{value}'"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (args, addr_flag) = take_value_flag(args, "addr")?;
+    let (args, threads_flag) = take_value_flag(&args, "threads")?;
+    let (args, depth_flag) = take_value_flag(&args, "queue-depth")?;
+    let (args, tasks_flag) = take_value_flag(&args, "max-tasks")?;
+    let (args, cache_flag) = take_value_flag(&args, "cache-entries")?;
+    if let Some(stray) = args.first() {
+        return Err(format!(
+            "unexpected argument '{stray}'; usage: dts serve [--addr <host:port>] \
+             [--threads <n>] [--queue-depth <n>] [--max-tasks <n>] [--cache-entries <n>]"
+        ));
+    }
+    let mut config = ServerConfig {
+        addr: addr_flag.unwrap_or_else(|| "127.0.0.1:7421".to_string()),
+        ..ServerConfig::default()
+    };
+    if let Some(v) = threads_flag {
+        config.threads = parse_flag("threads", &v)?;
+    }
+    if let Some(v) = depth_flag {
+        config.queue_depth = parse_flag("queue-depth", &v)?;
+    }
+    if let Some(v) = tasks_flag {
+        config.max_tasks = parse_flag("max-tasks", &v)?;
+    }
+    if let Some(v) = cache_flag {
+        config.cache_entries = parse_flag("cache-entries", &v)?;
+    }
+    let handle = Server::start(config).map_err(|e| format!("cannot start daemon: {e}"))?;
+    // The bound address is the first line of output, so scripts (and the
+    // e2e tests) can bind port 0 and discover the port.
+    println!("dts serve listening on {}", handle.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    // Serve until killed; the daemon threads own all the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_request(args: &[String]) -> Result<(), String> {
+    let (args, model) = take_model_flag(args)?;
+    let (args, tasks_flag) = take_value_flag(&args, "tasks")?;
+    let (args, seed_flag) = take_value_flag(&args, "seed")?;
+    let (args, skew_flag) = take_value_flag(&args, "skew")?;
+    let (args, rank_flag) = take_value_flag(&args, "rank")?;
+    let addr = args
+        .first()
+        .ok_or("expected a daemon address (host:port)")?;
+    let source_arg = args
+        .get(1)
+        .ok_or("expected a trace file or a family name")?;
+    let heuristic_name = args.get(2).ok_or("expected a heuristic name")?;
+    let factor: f64 = args
+        .get(3)
+        .map(|s| s.parse().map_err(|_| "factor must be a number"))
+        .transpose()?
+        .unwrap_or(1.5);
+    let heuristic = Heuristic::from_name(heuristic_name)
+        .ok_or_else(|| format!("unknown heuristic '{heuristic_name}'"))?;
+
+    let source = if let Some(family) = WorkloadFamily::from_name(source_arg) {
+        let mut config = GeneratorConfig::new(family);
+        if let Some(tasks) = &tasks_flag {
+            config.n_tasks = parse_flag("tasks", tasks)?;
+        }
+        if let Some(seed) = &seed_flag {
+            config.seed = parse_flag("seed", seed)?;
+        }
+        if let Some(skew) = &skew_flag {
+            config.skew = Some(parse_flag("skew", skew)?);
+        }
+        let rank = match &rank_flag {
+            Some(rank) => parse_flag("rank", rank)?,
+            None => 0,
+        };
+        TraceSource::Family { config, rank }
+    } else {
+        for (flag, value) in [
+            ("--tasks", &tasks_flag),
+            ("--seed", &seed_flag),
+            ("--skew", &skew_flag),
+            ("--rank", &rank_flag),
+        ] {
+            if value.is_some() {
+                return Err(format!("{flag} only applies to family requests"));
+            }
+        }
+        TraceSource::Inline(load_trace(source_arg)?)
+    };
+
+    let request = SolveRequest {
+        source,
+        heuristic,
+        model,
+        factor,
+    };
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    let response = client.send_request(&request).map_err(|e| e.to_string())?;
+    print_response(&response)
+}
+
+/// Renders a daemon response; error replies become the process error.
+fn print_response(response: &Value) -> Result<(), String> {
+    let text = |name: &str| -> Result<String, String> {
+        response
+            .field(name)
+            .ok()
+            .and_then(|v| String::from_value(v).ok())
+            .ok_or_else(|| format!("malformed daemon response: missing '{name}'"))
+    };
+    if text("status")? != "ok" {
+        return Err(format!(
+            "daemon error [{}]: {}",
+            text("code")?,
+            text("message")?
+        ));
+    }
+    let cached = response
+        .field("cached")
+        .ok()
+        .and_then(|v| bool::from_value(v).ok())
+        .ok_or("malformed daemon response: missing 'cached'")?;
+    let result = response
+        .field("result")
+        .map_err(|_| "malformed daemon response: missing 'result'")?;
+    let result_text = |name: &str| -> Result<String, String> {
+        result
+            .field(name)
+            .ok()
+            .and_then(|v| String::from_value(v).ok())
+            .ok_or_else(|| format!("malformed daemon response: missing result '{name}'"))
+    };
+    let result_u64 = |name: &str| -> Result<u64, String> {
+        result
+            .field(name)
+            .ok()
+            .and_then(|v| u64::from_value(v).ok())
+            .ok_or_else(|| format!("malformed daemon response: missing result '{name}'"))
+    };
+    println!("status             ok");
+    println!("cached             {cached}");
+    println!("digest             {}", text("digest")?);
+    println!("heuristic          {}", result_text("heuristic")?);
+    println!("model              {}", result_text("model")?);
+    println!("tasks              {}", result_u64("n_tasks")?);
+    println!("makespan           {} us", result_u64("makespan_us")?);
+    println!("comm idle          {} us", result_u64("comm_idle_us")?);
+    println!("comp idle          {} us", result_u64("comp_idle_us")?);
+    Ok(())
 }
 
 fn load_trace(path: &str) -> Result<Trace, String> {

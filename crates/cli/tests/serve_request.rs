@@ -1,0 +1,109 @@
+//! End-to-end test of `dts serve` + `dts request` through the real binary.
+//!
+//! Spawns the daemon on port 0, discovers the bound address from its
+//! first stdout line, queries it with `dts request`, and checks both the
+//! success path (cold solve, then cache hit) and a typed error path.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// Kills the daemon child on drop so a failing assertion cannot leak it.
+struct DaemonGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon() -> DaemonGuard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dts"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dts serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the listening line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on the listening line")
+        .to_string();
+    assert!(
+        line.contains("listening on"),
+        "unexpected first line: {line:?}"
+    );
+    DaemonGuard { child, addr }
+}
+
+fn request(addr: &str, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dts"))
+        .args(["request", addr])
+        .args(extra)
+        .output()
+        .expect("run dts request")
+}
+
+#[test]
+fn serve_answers_requests_and_reports_cache_hits() {
+    let daemon = spawn_daemon();
+
+    let cold = request(
+        &daemon.addr,
+        &["md", "DOCPS", "1.5", "--tasks", "16", "--seed", "9"],
+    );
+    let cold_out = String::from_utf8_lossy(&cold.stdout).to_string();
+    assert!(
+        cold.status.success(),
+        "cold request failed: {cold_out}\n{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(cold_out.contains("status             ok"), "{cold_out}");
+    assert!(cold_out.contains("cached             false"), "{cold_out}");
+    assert!(cold_out.contains("makespan"), "{cold_out}");
+
+    let hot = request(
+        &daemon.addr,
+        &["md", "DOCPS", "1.5", "--tasks", "16", "--seed", "9"],
+    );
+    let hot_out = String::from_utf8_lossy(&hot.stdout).to_string();
+    assert!(hot.status.success(), "hot request failed: {hot_out}");
+    assert!(hot_out.contains("cached             true"), "{hot_out}");
+
+    // Identical content digest and metrics on hit and cold solve.
+    let line = |out: &str, key: &str| -> String {
+        out.lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_default()
+            .to_string()
+    };
+    assert_eq!(line(&cold_out, "digest"), line(&hot_out, "digest"));
+    assert_eq!(line(&cold_out, "makespan"), line(&hot_out, "makespan"));
+}
+
+#[test]
+fn request_surfaces_typed_daemon_errors() {
+    let daemon = spawn_daemon();
+
+    // An infeasible capacity factor is a daemon-side typed error.
+    let out = request(&daemon.addr, &["md", "OS", "0.1", "--tasks", "8"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("infeasible"), "stderr: {stderr}");
+
+    // An unknown heuristic is rejected client-side with the same message
+    // shape as `dts run`.
+    let out = request(&daemon.addr, &["md", "NOPE"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("unknown heuristic"), "stderr: {stderr}");
+}

@@ -1,0 +1,260 @@
+//! Solve-once instance cache for the serving layer.
+//!
+//! A scheduler daemon sees the same instance many times: identical traces
+//! replayed under identical parameters must return byte-identical
+//! schedules *without* re-solving, and two identical requests arriving
+//! concurrently must solve **exactly once** — the second caller waits for
+//! the first solve and receives the cached value. [`SolveCache`]
+//! implements that contract with two locks:
+//!
+//! * an outer mutex over the key map, held only to look up or insert a
+//!   cell (never across a solve), plus the FIFO eviction queue that
+//!   bounds the entry count;
+//! * a per-key cell mutex held *across the solve*: whoever acquires the
+//!   cell first and finds it empty computes the value; every concurrent
+//!   caller for the same key blocks on that cell mutex and finds the
+//!   value filled in when it acquires. Distinct keys use distinct cells,
+//!   so unrelated solves never serialize.
+//!
+//! Failures are not cached: a solver returning `Err` leaves the cell
+//! empty, the error propagates to that caller only, and the next caller
+//! for the key simply becomes the new solver. A solver that *panics*
+//! unwinds through the guard and behaves like a failure (the vendored
+//! `parking_lot` mutex does not poison).
+//!
+//! The implementation is written against the [`crate::sync`] facade, so
+//! under `RUSTFLAGS="--cfg microloom"` every lock operation becomes a
+//! model-checker decision and `tests/cache_model.rs` verifies the
+//! solve-exactly-once contract under *all* interleavings of concurrent
+//! identical requests.
+
+use crate::error::Result;
+use crate::sync::Mutex;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A per-key slot: empty until the first successful solve fills it.
+type Cell<V> = Mutex<Option<V>>;
+
+struct Inner<K, V> {
+    map: HashMap<K, Arc<Cell<V>>>,
+    /// Keys in insertion order; the front is evicted first when the map
+    /// outgrows the capacity. Entries are pushed exactly once per map
+    /// insert, so the two stay consistent.
+    order: VecDeque<K>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Running counters of a [`SolveCache`], for observability endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Calls answered from a filled cell (including calls that waited for
+    /// a concurrent solver to fill it).
+    pub hits: u64,
+    /// Calls that ran the solver themselves.
+    pub misses: u64,
+    /// Entries dropped by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A bounded map of solved values that computes each key at most once
+/// among concurrent callers.
+///
+/// ```
+/// use dts_core::cache::SolveCache;
+///
+/// let cache = SolveCache::new(16);
+/// let (v, hit) = cache.get_or_solve(7u64, || Ok(7 * 7)).unwrap();
+/// assert_eq!((v, hit), (49, false));
+/// let (v, hit) = cache.get_or_solve(7u64, || unreachable!()).unwrap();
+/// assert_eq!((v, hit), (49, true));
+/// ```
+pub struct SolveCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SolveCache<K, V> {
+    /// A cache holding at most `capacity` entries (at least one).
+    pub fn new(capacity: usize) -> Self {
+        SolveCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached value for `key`, or runs `solve` to produce it.
+    ///
+    /// The boolean is `true` for a cache hit — including a caller that
+    /// blocked while a concurrent solver for the same key filled the cell.
+    /// Among concurrent callers with the same key, exactly one runs
+    /// `solve` (unless it fails; failures are returned to their caller and
+    /// not cached, so a later caller retries).
+    ///
+    /// # Errors
+    ///
+    /// Whatever `solve` returns; the cache adds no failure modes of its
+    /// own.
+    pub fn get_or_solve(&self, key: K, solve: impl FnOnce() -> Result<V>) -> Result<(V, bool)> {
+        let cell = self.cell_for(key);
+        // Holding the cell lock across the solve is what makes concurrent
+        // identical requests solve exactly once: the first caller in finds
+        // the cell empty and computes; everyone behind it blocks here and
+        // finds the value present. Distinct keys lock distinct cells.
+        let mut slot = cell.lock();
+        if let Some(value) = slot.as_ref() {
+            let value = value.clone();
+            drop(slot);
+            self.inner.lock().hits += 1;
+            return Ok((value, true));
+        }
+        let value = solve()?;
+        *slot = Some(value.clone());
+        drop(slot);
+        self.inner.lock().misses += 1;
+        Ok((value, false))
+    }
+
+    /// Looks up or creates the cell of `key`, evicting the oldest entries
+    /// if the insert pushed the map over capacity. The outer lock is held
+    /// only for this bookkeeping, never across a solve.
+    fn cell_for(&self, key: K) -> Arc<Cell<V>> {
+        let mut inner = self.inner.lock();
+        match inner.map.entry(key.clone()) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(e) => {
+                let cell = Arc::new(Mutex::new(None));
+                e.insert(Arc::clone(&cell));
+                inner.order.push_back(key);
+                while inner.map.len() > self.capacity {
+                    // An evicted in-flight solve still completes — waiters
+                    // hold their own Arc to the cell — it just stops being
+                    // findable for later requests.
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.map.remove(&old);
+                        inner.evictions += 1;
+                    }
+                }
+                cell
+            }
+        }
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+
+    #[test]
+    fn second_lookup_hits_without_solving() {
+        let cache: SolveCache<u32, String> = SolveCache::new(8);
+        let mut solves = 0;
+        let (v, hit) = cache
+            .get_or_solve(1, || {
+                solves += 1;
+                Ok("one".to_string())
+            })
+            .unwrap();
+        assert_eq!((v.as_str(), hit), ("one", false));
+        let (v, hit) = cache
+            .get_or_solve(1, || {
+                solves += 1;
+                Ok("other".to_string())
+            })
+            .unwrap();
+        assert_eq!((v.as_str(), hit), ("one", true), "cached value wins");
+        assert_eq!(solves, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_returned_but_not_cached() {
+        let cache: SolveCache<u32, u32> = SolveCache::new(8);
+        let err = cache
+            .get_or_solve(1, || Err(CoreError::Internal("boom".into())))
+            .unwrap_err();
+        assert_eq!(err, CoreError::Internal("boom".into()));
+        // The failed key solves again — and can now succeed.
+        let (v, hit) = cache.get_or_solve(1, || Ok(5)).unwrap();
+        assert_eq!((v, hit), (5, false));
+        let (_, hit) = cache.get_or_solve(1, || unreachable!()).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache: SolveCache<u32, u32> = SolveCache::new(2);
+        for k in 0..3 {
+            cache.get_or_solve(k, || Ok(k * 10)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // Key 0 was evicted and re-solves; keys 1 and 2 still hit.
+        let (_, hit) = cache.get_or_solve(1, || unreachable!()).unwrap();
+        assert!(hit);
+        let (_, hit) = cache.get_or_solve(2, || unreachable!()).unwrap();
+        assert!(hit);
+        let (v, hit) = cache.get_or_solve(0, || Ok(99)).unwrap();
+        assert_eq!((v, hit), (99, false));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache: SolveCache<u32, u32> = SolveCache::new(0);
+        cache.get_or_solve(1, || Ok(1)).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn threads_with_the_same_key_solve_once() {
+        // The full interleaving-exhaustive version of this lives in
+        // tests/cache_model.rs under the microloom backend; this is the
+        // cheap std-thread smoke version that runs in every build.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache: SolveCache<u32, u32> = SolveCache::new(8);
+        let solves = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let (v, _) = cache
+                        .get_or_solve(1, || {
+                            solves.fetch_add(1, Ordering::SeqCst);
+                            Ok(7)
+                        })
+                        .unwrap();
+                    assert_eq!(v, 7);
+                });
+            }
+        });
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        assert_eq!(stats.misses, 1);
+    }
+}

@@ -9,10 +9,10 @@
 //! O(n²).
 //!
 //! [`CandidateIndex`] answers the communication-time queries in O(log n)
-//! and the ratio query in O((1 + d) · log n), where `d` counts the
-//! distinct communication times whose best-ratio task is blocked by the
-//! memory threshold — O(log n) whenever the communication times are
-//! quantized, as in the paper's tile-based traces (see
+//! and the ratio query in O(√m · log n) worst case, where `m ≤ n` counts
+//! the distinct communication times — and in O(log n) whenever the
+//! best-ratio fitting task is not blocked behind the communication bound,
+//! the common case (see
 //! [`best_ratio_candidate_within`](CandidateIndex::best_ratio_candidate_within)
 //! for the exact bound). It keeps the tasks of an instance sorted by
 //! `(communication time, id)` and maintains three structures over that
@@ -30,21 +30,27 @@
 //! * a **block-priority ratio tree**: the communication order splits into
 //!   runs of equal communication time, and every communication-time bound
 //!   cuts exactly at a run boundary. Each run keeps its own small
-//!   memory-sorted prefix-maximum tree (the runs partition the tasks, so
-//!   these sum to O(n)), and an outer tree over the runs stores each
-//!   subtree's *champion* — its best present `(ratio, id)` — heap-ordered
-//!   down every root path like a priority search tree over
-//!   `(memory, ratio)`. A range of runs is searched champion-first: a
-//!   champion that fits in memory dominates its whole subtree and is taken
-//!   without descending, and a blocked run resolves *exactly* via its own
-//!   prefix-maximum tree, so memory-blocked high-ratio tasks cost one
-//!   O(log n) probe per distinct communication time instead of one tree
-//!   walk per task.
+//!   memory-sorted prefix-maximum tree, consecutive runs group into
+//!   ⌈√m⌉-wide *buckets* (m the run count) that each keep a second
+//!   memory-sorted prefix-maximum tree over all their tasks, and an outer
+//!   tree over the buckets stores each subtree's *champion* — its best
+//!   present `(ratio, id)` — heap-ordered down every root path like a
+//!   priority search tree over `(memory, ratio)`. A run-aligned range is
+//!   searched champion-first through the outer tree: a champion that fits
+//!   in memory dominates its whole subtree and is taken without
+//!   descending, a blocked bucket resolves *exactly* via its own
+//!   prefix-maximum tree, and the at most two partially covered boundary
+//!   buckets resolve run by run via the per-run trees. Memory-blocked
+//!   high-ratio tasks therefore cost at most O(√m) exact O(log n) probes
+//!   per query — not one probe per distinct communication time, which
+//!   degenerated to a linear scan on continuous-communication traces
+//!   under memory pressure.
 //!
-//! All three structures store O(1) words per task slot, so the index takes
-//! O(n) memory and O(log n) per update, where the previous merge-sort
-//! ratio tree paid O(n log n) memory and O(log² n) per update;
-//! construction is O(n) beyond its sorts.
+//! All structures store O(1) words per task slot (the runs partition the
+//! tasks and so do the buckets), so the index takes O(n) memory and
+//! O(log n) per update, where the previous merge-sort ratio tree paid
+//! O(n log n) memory and O(log² n) per update; construction is O(n)
+//! beyond its sorts.
 //!
 //! ```
 //! use dts_core::index::CandidateIndex;
@@ -104,10 +110,21 @@ fn key_combine(a: RatioBest, b: RatioBest) -> RatioBest {
 /// including a legitimate `u64::MAX`-byte task.
 const MEM_ABSENT: u128 = u128::MAX;
 
+/// Smallest `r >= 1` with `r · r >= m`: the bucket width (in runs) that
+/// balances the outer tree's leaf count against the boundary-bucket
+/// resolution cost at √m each. O(√m) once per build.
+fn isqrt_ceil(m: usize) -> usize {
+    let mut r = 1usize;
+    while r * r < m {
+        r += 1;
+    }
+    r
+}
+
 /// Standard iterative prefix-maximum over a key segment tree with `size`
 /// leaves (stored in `tree[size..2 size]`): the best key among the first
 /// `k` leaves. Shared by the global memory-order tree and every per-run
-/// tree.
+/// and per-bucket tree.
 fn prefix_best(tree: &[RatioBest], size: usize, k: usize) -> RatioBest {
     let mut best = RATIO_NEUTRAL;
     let (mut l, mut r) = (size, size + k);
@@ -187,16 +204,36 @@ pub struct CandidateIndex {
     /// concatenated; run `b` (size `s`) owns the `2 s` slots starting at
     /// `2 * block_start[b]`, leaves in the upper half.
     block_keys: Vec<RatioBest>,
-    /// Per-run min-memory trees with the same layout as `block_keys`; each
-    /// root feeds the outer tree's min-memory leaf.
+    /// Per-run min-memory trees with the same layout as `block_keys`.
     block_min_mem: Vec<u128>,
-    /// Leaf offset of the outer trees (`next_power_of_two` of the run
+    /// Bucket containing each run: consecutive runs group into ⌈√m⌉-wide
+    /// buckets so a memory-blocked query resolves in O(√m · log n) probes
+    /// worst case instead of one probe per run.
+    bucket_of_block: Vec<u32>,
+    /// First run of each bucket (`g + 1` entries, last one `m`).
+    bucket_start_block: Vec<u32>,
+    /// Rank of each position within its bucket's `(memory, position)`
+    /// order.
+    rank_in_bucket: Vec<u32>,
+    /// Per-bucket sorted memory requirements, concatenated; bucket `g`
+    /// owns the positions of [`bucket_pos_range`](Self::bucket_pos_range).
+    bucket_mem_sorted: Vec<u64>,
+    /// Per-bucket prefix-maximum trees over the per-bucket memory order,
+    /// laid out like `block_keys` (the buckets also partition the tasks,
+    /// so these pack into exactly 2n slots); each root feeds the outer
+    /// tree's key leaf.
+    bucket_keys: Vec<RatioBest>,
+    /// Per-bucket min-memory trees with the same layout as `bucket_keys`;
+    /// each root feeds the outer tree's min-memory leaf.
+    bucket_min_mem: Vec<u128>,
+    /// Leaf offset of the outer trees (`next_power_of_two` of the bucket
     /// count).
     outer_base: usize,
-    /// Outer champion tree over the runs: each node stores the best present
-    /// key of its run range (leaf `b` mirrors run `b`'s root).
+    /// Outer champion tree over the buckets: each node stores the best
+    /// present key of its bucket range (leaf `g` mirrors bucket `g`'s
+    /// root).
     outer_keys: Vec<RatioBest>,
-    /// Outer min-memory tree over the runs, indexed like `outer_keys`.
+    /// Outer min-memory tree over the buckets, indexed like `outer_keys`.
     outer_min_mem: Vec<u128>,
 }
 
@@ -277,6 +314,12 @@ impl CandidateIndex {
             block_mem_sorted: Vec::new(),
             block_keys: Vec::new(),
             block_min_mem: Vec::new(),
+            bucket_of_block: Vec::new(),
+            bucket_start_block: Vec::new(),
+            rank_in_bucket: Vec::new(),
+            bucket_mem_sorted: Vec::new(),
+            bucket_keys: Vec::new(),
+            bucket_min_mem: Vec::new(),
             outer_base: 0,
             outer_keys: Vec::new(),
             outer_min_mem: Vec::new(),
@@ -363,13 +406,59 @@ impl CandidateIndex {
             }
         }
 
-        // Outer trees over the runs; leaf `b` mirrors run `b`'s root.
-        self.outer_base = m.next_power_of_two().max(1);
+        // ⌈√m⌉-wide buckets of consecutive runs. Communication bounds cut
+        // at run boundaries, so a query covers at most two buckets
+        // partially; everything between is whole buckets for the outer
+        // tree.
+        let runs_per_bucket = isqrt_ceil(m);
+        self.bucket_of_block = vec![0u32; m];
+        self.bucket_start_block = Vec::with_capacity(m / runs_per_bucket + 2);
+        for b in 0..m {
+            if b % runs_per_bucket == 0 {
+                self.bucket_start_block.push(b as u32);
+            }
+            self.bucket_of_block[b] = (self.bucket_start_block.len() - 1) as u32;
+        }
+        self.bucket_start_block.push(m as u32);
+        let g_count = self.bucket_start_block.len() - 1;
+
+        // Per-bucket memory-sorted prefix-maximum trees, flat like the
+        // per-run ones: bucket `g` of `s` positions owns 2s slots starting
+        // at twice its first position — the buckets partition the tasks,
+        // so the trees pack into exactly 2n slots again.
+        self.rank_in_bucket = vec![0u32; n];
+        self.bucket_mem_sorted = vec![0u64; n];
+        self.bucket_keys = vec![RATIO_NEUTRAL; 2 * n];
+        self.bucket_min_mem = vec![MEM_ABSENT; 2 * n];
+        for g in 0..g_count {
+            let (start, end) = self.bucket_pos_range(g);
+            let s = end - start;
+            let mut span: Vec<u32> = (start as u32..end as u32).collect();
+            span.sort_unstable_by_key(|&pos| (self.mem[pos as usize], pos));
+            let off = 2 * start;
+            for (r, &pos) in span.iter().enumerate() {
+                self.rank_in_bucket[pos as usize] = r as u32;
+                self.bucket_mem_sorted[start + r] = self.mem[pos as usize];
+                self.bucket_keys[off + s + r] = key_of(pos as usize);
+                self.bucket_min_mem[off + s + r] = u128::from(self.mem[pos as usize]);
+            }
+            for i in (1..s).rev() {
+                self.bucket_keys[off + i] = key_combine(
+                    self.bucket_keys[off + 2 * i],
+                    self.bucket_keys[off + 2 * i + 1],
+                );
+                self.bucket_min_mem[off + i] =
+                    self.bucket_min_mem[off + 2 * i].min(self.bucket_min_mem[off + 2 * i + 1]);
+            }
+        }
+
+        // Outer trees over the buckets; leaf `g` mirrors bucket `g`'s root.
+        self.outer_base = g_count.next_power_of_two().max(1);
         self.outer_keys = vec![RATIO_NEUTRAL; 2 * self.outer_base];
         self.outer_min_mem = vec![MEM_ABSENT; 2 * self.outer_base];
-        for b in 0..m {
-            self.outer_keys[self.outer_base + b] = self.block_root_key(b);
-            self.outer_min_mem[self.outer_base + b] = self.block_root_min_mem(b);
+        for g in 0..g_count {
+            self.outer_keys[self.outer_base + g] = self.bucket_root_key(g);
+            self.outer_min_mem[self.outer_base + g] = self.bucket_root_min_mem(g);
         }
         for i in (1..self.outer_base).rev() {
             self.outer_keys[i] = key_combine(self.outer_keys[2 * i], self.outer_keys[2 * i + 1]);
@@ -389,6 +478,27 @@ impl CandidateIndex {
     #[inline]
     fn block_root_min_mem(&self, b: usize) -> u128 {
         self.block_min_mem[2 * self.block_start[b] as usize + 1]
+    }
+
+    /// The position range `[start, end)` bucket `g` covers.
+    #[inline]
+    fn bucket_pos_range(&self, g: usize) -> (usize, usize) {
+        (
+            self.block_start[self.bucket_start_block[g] as usize] as usize,
+            self.block_start[self.bucket_start_block[g + 1] as usize] as usize,
+        )
+    }
+
+    /// Root aggregate of bucket `g`'s key tree (its best present key).
+    #[inline]
+    fn bucket_root_key(&self, g: usize) -> RatioBest {
+        self.bucket_keys[2 * self.bucket_pos_range(g).0 + 1]
+    }
+
+    /// Root aggregate of bucket `g`'s min-memory tree.
+    #[inline]
+    fn bucket_root_min_mem(&self, g: usize) -> u128 {
+        self.bucket_min_mem[2 * self.bucket_pos_range(g).0 + 1]
     }
 
     /// Number of tasks still present.
@@ -465,7 +575,7 @@ impl CandidateIndex {
             self.mem_tree[i] = key_combine(self.mem_tree[2 * i], self.mem_tree[2 * i + 1]);
         }
 
-        // The position's run, then the outer trees above it.
+        // The position's run, then its bucket, then the outer trees above.
         let b = self.block_of_pos[pos] as usize;
         let start = self.block_start[b] as usize;
         let s = self.block_start[b + 1] as usize - start;
@@ -482,9 +592,25 @@ impl CandidateIndex {
             self.block_min_mem[off + i] =
                 self.block_min_mem[off + 2 * i].min(self.block_min_mem[off + 2 * i + 1]);
         }
-        let mut i = self.outer_base + b;
-        self.outer_keys[i] = self.block_root_key(b);
-        self.outer_min_mem[i] = self.block_root_min_mem(b);
+        let g = self.bucket_of_block[b] as usize;
+        let (gstart, gend) = self.bucket_pos_range(g);
+        let s = gend - gstart;
+        let off = 2 * gstart;
+        let mut i = s + self.rank_in_bucket[pos] as usize;
+        self.bucket_keys[off + i] = key;
+        self.bucket_min_mem[off + i] = mem_leaf;
+        while i > 1 {
+            i >>= 1;
+            self.bucket_keys[off + i] = key_combine(
+                self.bucket_keys[off + 2 * i],
+                self.bucket_keys[off + 2 * i + 1],
+            );
+            self.bucket_min_mem[off + i] =
+                self.bucket_min_mem[off + 2 * i].min(self.bucket_min_mem[off + 2 * i + 1]);
+        }
+        let mut i = self.outer_base + g;
+        self.outer_keys[i] = self.bucket_root_key(g);
+        self.outer_min_mem[i] = self.bucket_root_min_mem(g);
         while i > 1 {
             i >>= 1;
             self.outer_keys[i] = key_combine(self.outer_keys[2 * i], self.outer_keys[2 * i + 1]);
@@ -549,16 +675,18 @@ impl CandidateIndex {
     /// the bound (every decision where the processing-unit backlog covers
     /// the candidates' communication times), it dominates the constrained
     /// set and is returned after two O(log n) probes. Otherwise the range
-    /// of equal-communication runs under the bound is searched
-    /// champion-first through the outer tree: a champion that fits is
-    /// taken without descending, a subtree with no fitting present task is
-    /// skipped (outer min-memory pruning), and a run whose champion is
-    /// memory-blocked resolves exactly via its own prefix-maximum tree.
-    /// Worst case that is O((1 + d) · log n), with `d` the number of
-    /// distinct communication times under the bound whose run champion
-    /// out-ranks the answer but fails the memory threshold — O(log n) for
-    /// the tile-quantized traces of the paper, whose distinct
-    /// communication times are few and ratio ties massive.
+    /// of equal-communication runs under the bound — whole ⌈√m⌉-run
+    /// buckets plus at most two partially covered boundary buckets — is
+    /// searched champion-first: a champion that fits is taken without
+    /// descending, a subtree with no fitting present task is skipped
+    /// (outer min-memory pruning), a bucket whose champion is
+    /// memory-blocked resolves exactly via its own prefix-maximum tree,
+    /// and the boundary buckets resolve their covered runs one at a time
+    /// the same way. Worst case that is O(√m · log n) with `m` the number
+    /// of distinct communication times — bounded even on
+    /// continuous-communication traces under memory pressure, where the
+    /// previous run-granular search paid one probe per distinct
+    /// communication time and degenerated to a linear scan.
     ///
     /// # Panics
     ///
@@ -616,34 +744,64 @@ impl CandidateIndex {
             return Some(TaskId(unconstrained.1 as usize));
         }
         // Stage 2: the winner lies outside the range; search the runs of
-        // the range through the outer champion tree. The range is
-        // run-aligned, so the canonical decomposition below covers exactly
-        // the runs [block_of(lo), block_of(hi - 1)]; at most one node per
-        // side per level, so the fixed stacks suffice (cf.
-        // `directed_search`).
+        // the range. The range is run-aligned, so it decomposes into a
+        // (possibly empty) span of whole buckets plus at most two
+        // partially covered boundary buckets. The whole buckets go
+        // champion-first through the outer tree (canonical decomposition
+        // below: at most one node per side per level, so the fixed stack
+        // suffices, cf. `directed_search`); the boundary buckets resolve
+        // their at most ⌈√m⌉ covered runs each one run at a time.
         let limit = u128::from(free);
         let blo = self.block_of_pos[lo] as usize;
         let bhi = self.block_of_pos[hi - 1] as usize + 1;
-        let mut nodes = [0usize; 64];
-        let mut n_nodes = 0;
-        let (mut l, mut r) = (self.outer_base + blo, self.outer_base + bhi);
-        while l < r {
-            if l & 1 == 1 {
-                nodes[n_nodes] = l;
-                n_nodes += 1;
-                l += 1;
-            }
-            if r & 1 == 1 {
-                r -= 1;
-                nodes[n_nodes] = r;
-                n_nodes += 1;
-            }
-            l >>= 1;
-            r >>= 1;
-        }
+        let glo = self.bucket_of_block[blo] as usize;
+        let ghi = self.bucket_of_block[bhi - 1] as usize;
+        let gfull_lo = if blo == self.bucket_start_block[glo] as usize {
+            glo
+        } else {
+            glo + 1
+        };
+        let gfull_hi = if bhi == self.bucket_start_block[ghi + 1] as usize {
+            ghi + 1
+        } else {
+            ghi
+        };
         let mut best = RATIO_NEUTRAL;
-        for &node in &nodes[..n_nodes] {
-            self.outer_search(node, limit, free, &mut best);
+        if gfull_lo < gfull_hi {
+            let mut nodes = [0usize; 64];
+            let mut n_nodes = 0;
+            let (mut l, mut r) = (self.outer_base + gfull_lo, self.outer_base + gfull_hi);
+            while l < r {
+                if l & 1 == 1 {
+                    nodes[n_nodes] = l;
+                    n_nodes += 1;
+                    l += 1;
+                }
+                if r & 1 == 1 {
+                    r -= 1;
+                    nodes[n_nodes] = r;
+                    n_nodes += 1;
+                }
+                l >>= 1;
+                r >>= 1;
+            }
+            for &node in &nodes[..n_nodes] {
+                self.outer_search(node, limit, free, &mut best);
+            }
+        }
+        for g in [glo, ghi] {
+            if g >= gfull_lo && g < gfull_hi {
+                // Fully covered: the outer search above handled it.
+                continue;
+            }
+            let run_lo = blo.max(self.bucket_start_block[g] as usize);
+            let run_hi = bhi.min(self.bucket_start_block[g + 1] as usize);
+            for b in run_lo..run_hi {
+                self.run_search(b, limit, free, &mut best);
+            }
+            if glo == ghi {
+                break;
+            }
         }
         (best != RATIO_NEUTRAL).then_some(TaskId(best.1 as usize))
     }
@@ -651,8 +809,8 @@ impl CandidateIndex {
     /// Champion-first search of one outer subtree, tightening `best` in
     /// place: skips subtrees with no fitting present task or whose champion
     /// cannot out-rank `best`, accepts a fitting champion without
-    /// descending, and resolves a memory-blocked run exactly via the run's
-    /// prefix-maximum tree.
+    /// descending, and resolves a memory-blocked bucket exactly via the
+    /// bucket's prefix-maximum tree.
     fn outer_search(&self, node: usize, limit: u128, free: u64, best: &mut RatioBest) {
         // No present task of the subtree fits in the free memory…
         if self.outer_min_mem[node] > limit {
@@ -669,8 +827,9 @@ impl CandidateIndex {
             return;
         }
         if node >= self.outer_base {
-            // A run whose champion is memory-blocked: resolve it exactly.
-            let key = self.block_best(node - self.outer_base, free);
+            // A bucket whose champion is memory-blocked: resolve it
+            // exactly.
+            let key = self.bucket_best(node - self.outer_base, free);
             if key_beats(key, *best) {
                 *best = key;
             }
@@ -688,6 +847,30 @@ impl CandidateIndex {
         self.outer_search(second, limit, free, best);
     }
 
+    /// Champion check of one equal-communication run, tightening `best` in
+    /// place — the boundary-bucket counterpart of
+    /// [`outer_search`](Self::outer_search)'s leaf case: skip a run with
+    /// no fitting present task or an out-ranked champion, take a fitting
+    /// champion outright, resolve a memory-blocked one exactly via the
+    /// run's prefix-maximum tree.
+    fn run_search(&self, b: usize, limit: u128, free: u64, best: &mut RatioBest) {
+        if self.block_root_min_mem(b) > limit {
+            return;
+        }
+        let champ = self.block_root_key(b);
+        if !key_beats(champ, *best) {
+            return;
+        }
+        if self.mem[self.pos_of[champ.1 as usize] as usize] <= free {
+            *best = champ;
+            return;
+        }
+        let key = self.block_best(b, free);
+        if key_beats(key, *best) {
+            *best = key;
+        }
+    }
+
     /// Best present key among the tasks of run `b` with memory requirement
     /// at most `free`: a prefix-maximum over the run's memory-sorted
     /// leaves. O(log of the run size), worst case — the memory threshold
@@ -697,6 +880,16 @@ impl CandidateIndex {
         let s = self.block_start[b + 1] as usize - start;
         let k = self.block_mem_sorted[start..start + s].partition_point(|&m| m <= free);
         prefix_best(&self.block_keys[2 * start..], s, k)
+    }
+
+    /// Best present key among the tasks of bucket `g` with memory
+    /// requirement at most `free`: a prefix-maximum over the bucket's
+    /// memory-sorted leaves. O(log of the bucket size), worst case.
+    fn bucket_best(&self, g: usize, free: u64) -> RatioBest {
+        let (start, end) = self.bucket_pos_range(g);
+        let s = end - start;
+        let k = self.bucket_mem_sorted[start..end].partition_point(|&m| m <= free);
+        prefix_best(&self.bucket_keys[2 * start..], s, k)
     }
 
     /// Best present key among the first `k` ranks of the global
@@ -945,6 +1138,64 @@ mod tests {
             index.best_ratio_candidate_within(one, bound),
             Some(TaskId(1))
         );
+    }
+
+    #[test]
+    fn continuous_comm_with_blocked_champions_agrees_with_a_scan() {
+        // The bucketed-search regression domain: every communication time
+        // is distinct (one run per task, so runs ≈ buckets² and every
+        // query crosses bucket boundaries), ratios strictly decrease with
+        // id, and memory alternates huge/tiny — under a tiny threshold
+        // every champion on the way down is blocked. Each bound is checked
+        // against a naive scan so partially covered boundary buckets,
+        // whole-bucket outer searches and exact bucket resolutions all
+        // agree, before and after removals.
+        let n = 40u64;
+        let mut builder =
+            crate::instance::InstanceBuilder::new().capacity(MemSize::from_bytes(500));
+        for i in 0..n {
+            let mem = if i % 2 == 0 { 500 } else { 1 };
+            // ratio = comp/comm = n - i, strictly decreasing in id.
+            builder = builder.task_units(
+                &format!("t{i}"),
+                (i + 1) as f64,
+                ((i + 1) * (n - i)) as f64,
+                mem,
+            );
+        }
+        let instance = builder.build().unwrap();
+        let mut index = CandidateIndex::new(&instance);
+        let naive = |index: &CandidateIndex, free: u64, bound: u64| -> Option<TaskId> {
+            (0..n as usize)
+                .filter(|&i| index.contains(TaskId(i)))
+                .map(|i| (i, instance.task(TaskId(i))))
+                .filter(|(_, t)| {
+                    t.mem <= MemSize::from_bytes(free) && t.comm_time <= Time::units_int(bound)
+                })
+                .min_by(|(a_id, a), (b_id, b)| {
+                    b.acceleration_ratio()
+                        .partial_cmp(&a.acceleration_ratio())
+                        .expect("ratios are never NaN")
+                        .then(a_id.cmp(b_id))
+                })
+                .map(|(i, _)| TaskId(i))
+        };
+        for round in 0..3 {
+            for bound in 0..=n + 1 {
+                for free in [0, 1, 500] {
+                    assert_eq!(
+                        index.best_ratio_candidate_within(
+                            MemSize::from_bytes(free),
+                            Time::units_int(bound)
+                        ),
+                        naive(&index, free, bound),
+                        "round {round} free {free} bound {bound}"
+                    );
+                }
+            }
+            // Knock out the heads of the tiny-memory chain between rounds.
+            index.remove(TaskId(2 * round + 1));
+        }
     }
 
     #[test]

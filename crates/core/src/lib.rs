@@ -26,6 +26,10 @@
 //!   decision-driven heuristics to select tasks in O(log n) per decision,
 //! * [`pool`] — the shared work-stealing pool behind the parallel solve
 //!   layers (suite sweeps, batched scheduling, `lp.k` sweeps),
+//! * [`hash`] — stable 128-bit content hashing (cache keys that survive
+//!   process and platform boundaries),
+//! * [`cache`] — the bounded solve-once cache behind the scheduling
+//!   daemon (concurrent identical requests solve exactly once),
 //! * [`sync`] — the compile-time façade that lets the pool run on either
 //!   `std` atomics or the `microloom` model checker's instrumented types,
 //! * [`feasibility`] — the feasibility checker for schedules (link and CPU
@@ -43,10 +47,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod feasibility;
 pub mod gantt;
+pub mod hash;
 pub mod index;
 pub mod instance;
 pub mod instances;
@@ -60,8 +66,10 @@ pub mod task;
 pub mod testgen;
 pub mod time;
 
+pub use cache::SolveCache;
 pub use error::{CoreError, Result};
 pub use exec::{ExecutionModel, OverlapEfficiency};
+pub use hash::{Digest128, StableHasher};
 pub use index::CandidateIndex;
 pub use instance::{Instance, InstanceBuilder, InstanceStats};
 pub use memory::MemSize;

@@ -20,3 +20,15 @@ pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 #[cfg(microloom)]
 pub use microloom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+// The mutex facade follows the same pattern for [`crate::cache`]: the
+// vendored `parking_lot` stub in normal builds (its `lock()` returns the
+// guard directly, recovering poisoned locks), microloom's instrumented
+// mutex — same `lock()` shape — under the model checker, so the
+// solve-once cache is model checked byte-for-byte as shipped.
+
+#[cfg(not(microloom))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(microloom)]
+pub use microloom::sync::{Mutex, MutexGuard};

@@ -127,6 +127,25 @@ pub fn memory_cliff_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {
     instance_gen_with(memory_cliff_task_gen(), len, 0..=1)
 }
 
+/// A continuous-communication task domain: communication times are drawn
+/// from a range vastly wider than any generated task count, so almost
+/// every task sits in its own equal-communication run — the regime where
+/// the candidate index's ratio query must rely on its bucketed search
+/// instead of run-granular probing (one probe per run is a linear scan
+/// here).
+pub fn continuous_comm_task_gen() -> TaskGen {
+    task_gen(0..=100_000, 0..=30, 8..=16)
+}
+
+/// Instances combining [`continuous_comm_task_gen`] with the memory
+/// cliff of [`memory_cliff_instance_gen`]: at most one byte of capacity
+/// slack over tasks needing 8–16 bytes, so run champions are routinely
+/// memory-blocked while nearly every run is distinct — the adversarial
+/// domain of the bucketed ratio query.
+pub fn continuous_comm_memory_cliff_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {
+    instance_gen_with(continuous_comm_task_gen(), len, 0..=1)
+}
+
 /// Instances from the [`transfer_bound_task_gen`] domain with tight
 /// capacity slack, so memory waits interleave with channel contention.
 pub fn transfer_bound_instance_gen(len: RangeInclusive<usize>) -> InstanceGen {

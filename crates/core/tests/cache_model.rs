@@ -1,0 +1,180 @@
+//! Model checking of [`dts_core::cache::SolveCache`]'s solve-exactly-once
+//! contract under *all* interleavings, via the vendored `microloom`
+//! checker.
+//!
+//! This file is empty under a normal build; run it with
+//!
+//! ```text
+//! RUSTFLAGS="--cfg microloom" cargo test -p dts_core --test cache_model
+//! ```
+//!
+//! which swaps the `dts_core::sync` façade to microloom's instrumented
+//! mutex, so the cache being checked is exactly the cache the scheduling
+//! daemon ships. Bookkeeping inside the models uses plain `std` atomics:
+//! only one model thread runs at a time, so they are race-free and add no
+//! scheduling decisions.
+#![cfg(microloom)]
+
+use dts_core::cache::SolveCache;
+use dts_core::error::CoreError;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+/// Two concurrent identical requests solve exactly once, and both receive
+/// the one solved value — the cache-correctness contract of the serving
+/// layer — under every interleaving of the two callers.
+#[test]
+fn concurrent_identical_requests_solve_exactly_once() {
+    let report = microloom::check(|| {
+        let cache: Arc<SolveCache<u32, u32>> = Arc::new(SolveCache::new(4));
+        let solves = Arc::new(StdAtomicUsize::new(0));
+        let hits = Arc::new(StdAtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let solves = Arc::clone(&solves);
+                let hits = Arc::clone(&hits);
+                microloom::thread::spawn(move || {
+                    let (value, hit) = cache
+                        .get_or_solve(7, || {
+                            solves.fetch_add(1, StdOrdering::SeqCst);
+                            Ok(42)
+                        })
+                        .expect("the solver never fails");
+                    assert_eq!(value, 42, "every caller sees the solved value");
+                    if hit {
+                        hits.fetch_add(1, StdOrdering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("model threads join cleanly");
+        }
+        assert_eq!(
+            solves.load(StdOrdering::SeqCst),
+            1,
+            "exactly one caller runs the solver"
+        );
+        assert_eq!(
+            hits.load(StdOrdering::SeqCst),
+            1,
+            "exactly one caller is a hit (the other was the solver)"
+        );
+    })
+    .expect("solve-exactly-once must hold under all interleavings");
+    assert!(report.executions > 1, "explored only {report:?}");
+}
+
+/// Distinct keys never serialize into one solve: both callers run their
+/// own solver whatever the interleaving, and each reads back its own
+/// value.
+#[test]
+fn distinct_keys_solve_independently() {
+    microloom::check(|| {
+        let cache: Arc<SolveCache<u32, u32>> = Arc::new(SolveCache::new(4));
+        let solves = Arc::new(StdAtomicUsize::new(0));
+        let workers: Vec<_> = (0..2u32)
+            .map(|key| {
+                let cache = Arc::clone(&cache);
+                let solves = Arc::clone(&solves);
+                microloom::thread::spawn(move || {
+                    let (value, hit) = cache
+                        .get_or_solve(key, || {
+                            solves.fetch_add(1, StdOrdering::SeqCst);
+                            Ok(key * 10)
+                        })
+                        .expect("the solver never fails");
+                    assert_eq!(value, key * 10, "keys never cross values");
+                    assert!(!hit, "distinct keys cannot hit each other");
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("model threads join cleanly");
+        }
+        assert_eq!(solves.load(StdOrdering::SeqCst), 2);
+    })
+    .expect("per-key isolation must hold under all interleavings");
+}
+
+/// A failing solve is returned to its caller only and leaves nothing
+/// cached: the concurrent caller for the same key either solved first
+/// (and the failer never ran — the cache answered from the cell) or
+/// becomes the new solver after the failure. In every interleaving the
+/// succeeding caller gets the value, never the error.
+#[test]
+fn failed_solves_are_not_cached_and_do_not_poison_waiters() {
+    microloom::check(|| {
+        let cache: Arc<SolveCache<u32, u32>> = Arc::new(SolveCache::new(4));
+        let failer = {
+            let cache = Arc::clone(&cache);
+            microloom::thread::spawn(move || {
+                // May race ahead (error observed) or behind (hit observed).
+                match cache.get_or_solve(7, || Err(CoreError::Internal("flaky".into()))) {
+                    Ok((value, hit)) => {
+                        assert_eq!(value, 42, "a hit must carry the good value");
+                        assert!(hit, "the failer never solves successfully");
+                    }
+                    Err(e) => assert_eq!(e, CoreError::Internal("flaky".into())),
+                }
+            })
+        };
+        let succeeder = {
+            let cache = Arc::clone(&cache);
+            microloom::thread::spawn(move || {
+                let (value, _) = cache
+                    .get_or_solve(7, || Ok(42))
+                    .expect("the good solver must never see the other caller's failure");
+                assert_eq!(value, 42);
+            })
+        };
+        failer.join().expect("failer joins cleanly");
+        succeeder.join().expect("succeeder joins cleanly");
+    })
+    .expect("failure isolation must hold under all interleavings");
+}
+
+/// The broken-lemma counterpart: a deliberately wrong "check then solve"
+/// cache (lookup and insert as two separate critical sections, no cell
+/// lock held across the solve) double-solves under some interleaving,
+/// and the checker must find it. This pins that the exploration actually
+/// covers the race the shipped design closes.
+#[test]
+fn broken_check_then_act_cache_is_caught() {
+    let failure = microloom::check(|| {
+        use microloom::sync::Mutex as ModelMutex;
+
+        let map: Arc<ModelMutex<Option<u32>>> = Arc::new(ModelMutex::new(None));
+        let solves = Arc::new(StdAtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                let solves = Arc::clone(&solves);
+                microloom::thread::spawn(move || {
+                    // BUG: the lock is released between the miss check and
+                    // the insert, so two callers can both observe a miss.
+                    let cached = *map.lock();
+                    if cached.is_none() {
+                        solves.fetch_add(1, StdOrdering::SeqCst);
+                        *map.lock() = Some(42);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("model threads join cleanly");
+        }
+        assert_eq!(
+            solves.load(StdOrdering::SeqCst),
+            1,
+            "solve must run exactly once"
+        );
+    })
+    .expect_err("the check-then-act cache must double-solve somewhere");
+    assert!(
+        failure.message.contains("solve must run exactly once"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}

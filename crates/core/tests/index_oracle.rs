@@ -347,6 +347,22 @@ microcheck::property! {
         check_interleaved(&spec, op_seed)?;
     }
 
+    /// Continuous communication times under the memory cliff: nearly
+    /// every equal-communication run is a singleton and run champions are
+    /// routinely memory-blocked, so the ratio query's stage-2 search —
+    /// whole ⌈√m⌉-run buckets through the outer champion tree, boundary
+    /// buckets run by run — does all the work. The regression domain of
+    /// the bucketed search.
+    fn continuous_comm_memory_cliff_interleavings_agree_with_the_oracle(
+        (spec, op_seed) in (
+            dts_core::testgen::continuous_comm_memory_cliff_instance_gen(1..=60),
+            microcheck::gens::u64_in(0..=u64::MAX),
+        ),
+        cases = 100,
+    ) {
+        check_interleaved(&spec, op_seed)?;
+    }
+
     /// And at the top of the `u64` memory domain, where a removed slot's
     /// sentinel must stay distinguishable from a real `u64::MAX`-byte task.
     fn u64_scale_interleavings_agree_with_the_oracle(

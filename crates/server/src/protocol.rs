@@ -1,0 +1,586 @@
+//! Wire protocol of the scheduling daemon.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 JSON.
+//! The framing layer enforces a payload ceiling so a hostile or buggy
+//! client cannot make the daemon buffer an unbounded body; an oversized
+//! frame is *drained* from the socket (bounded, chunked reads into a
+//! throwaway buffer) and answered with a typed error, leaving the
+//! connection usable for the next frame.
+//!
+//! A request selects the instance either **inline** (a full trace object
+//! under `"trace"`) or **by corpus family** (a generator spec under
+//! `"family"`), plus the heuristic to run and optional execution-model
+//! and capacity-factor overrides:
+//!
+//! ```json
+//! {"family": {"family": "dense-la", "n_tasks": 64, "seed": 7, "rank": 0},
+//!  "heuristic": "DOCPS", "model": "streams:2", "factor": 1.5}
+//! ```
+//!
+//! Responses are either `{"status":"ok", "cached":…, "digest":…,
+//! "result":…}` or `{"status":"error", "code":…, "message":…}`. Every
+//! failure the daemon can detect maps to a stable machine-readable
+//! [`ErrorCode`]; connections are never dropped in lieu of an error
+//! reply.
+
+use dts_chem::Trace;
+use dts_core::error::CoreError;
+use dts_core::hash::{Digest128, StableHasher};
+use dts_core::ExecutionModel;
+use dts_heuristics::Heuristic;
+use dts_workloads::{GeneratorConfig, WorkloadFamily};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame header size: a `u32` payload length in network byte order.
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Stable machine-readable failure classes of the wire protocol.
+///
+/// The string form (see [`ErrorCode::as_str`]) is part of the protocol:
+/// clients dispatch on it, so variants are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The payload was not a JSON object of the request shape.
+    BadFrame,
+    /// The frame length exceeded the server's payload ceiling.
+    OversizedFrame,
+    /// The request parsed as JSON but violated the schema (missing or
+    /// conflicting fields, unknown family, non-finite factor, …).
+    BadRequest,
+    /// The `heuristic` name is not one of [`Heuristic::ALL`].
+    UnknownHeuristic,
+    /// The `model` string did not parse as an execution model.
+    InvalidModel,
+    /// The trace (inline or generated) was rejected by the core layer.
+    InvalidTrace,
+    /// The request names more tasks than the admission ceiling allows.
+    TaskCeiling,
+    /// The pending-request queue is full; retry later (load shed).
+    QueueFull,
+    /// The instance cannot be scheduled (e.g. a task exceeds capacity).
+    Infeasible,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::OversizedFrame => "oversized-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownHeuristic => "unknown-heuristic",
+            ErrorCode::InvalidModel => "invalid-model",
+            ErrorCode::InvalidTrace => "invalid-trace",
+            ErrorCode::TaskCeiling => "task-ceiling",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::Infeasible => "infeasible",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed error reply: code plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail (not part of the stable protocol).
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Builds a reply from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ErrorReply {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Classifies a core-layer error into a wire code.
+    pub fn from_core(err: &CoreError) -> Self {
+        let code = match err {
+            CoreError::EmptyInstance | CoreError::InvalidTrace(_) => ErrorCode::InvalidTrace,
+            CoreError::InvalidCapacityFactor(_) => ErrorCode::BadRequest,
+            CoreError::InvalidExecutionModel(_) => ErrorCode::InvalidModel,
+            CoreError::TaskExceedsCapacity { .. } | CoreError::Infeasible(_) => {
+                ErrorCode::Infeasible
+            }
+            _ => ErrorCode::Internal,
+        };
+        ErrorReply::new(code, err.to_string())
+    }
+
+    /// Renders the reply as a response JSON payload.
+    pub fn to_json(&self) -> String {
+        let value = Value::Object(vec![
+            ("status".to_string(), Value::Str("error".to_string())),
+            (
+                "code".to_string(),
+                Value::Str(self.code.as_str().to_string()),
+            ),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ]);
+        render(&value)
+    }
+}
+
+/// Renders an ok response around an already-rendered `result` payload.
+///
+/// The `result` string is spliced in verbatim, so a cache hit serves the
+/// *exact bytes* of the cold solve — byte identity is structural, not a
+/// property re-derived per request.
+pub fn ok_response_json(result_json: &str, cached: bool, digest: Digest128) -> String {
+    format!("{{\"status\":\"ok\",\"cached\":{cached},\"digest\":\"{digest}\",\"result\":{result_json}}}")
+}
+
+fn render(value: &Value) -> String {
+    // The vendored renderer only fails on non-finite floats; protocol
+    // values are strings, bools and integers, so this cannot trigger.
+    serde_json::to_string(value).unwrap_or_else(|_| {
+        "{\"status\":\"error\",\"code\":\"internal\",\"message\":\"render failure\"}".to_string()
+    })
+}
+
+/// Where the instance of a request comes from.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// A full trace shipped in the request body.
+    Inline(Trace),
+    /// A deterministic corpus generator spec (family, size, seed, rank).
+    Family {
+        /// Generator configuration.
+        config: GeneratorConfig,
+        /// Process rank fed to the generator.
+        rank: usize,
+    },
+}
+
+/// A parsed, schema-valid scheduling request.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Instance source: inline trace or generator spec.
+    pub source: TraceSource,
+    /// Heuristic to run.
+    pub heuristic: Heuristic,
+    /// Execution-model override; `None` follows the trace/instance default.
+    pub model: Option<ExecutionModel>,
+    /// Memory-capacity factor (multiplies the minimum feasible capacity).
+    pub factor: f64,
+}
+
+impl SolveRequest {
+    /// Number of tasks the request names, for admission control. This is
+    /// known *before* any generation or solving happens, so the ceiling
+    /// check is O(1).
+    pub fn task_count(&self) -> usize {
+        match &self.source {
+            TraceSource::Inline(trace) => trace.len(),
+            TraceSource::Family { config, .. } => config.n_tasks,
+        }
+    }
+
+    /// Content digest of the request: the cache key.
+    ///
+    /// Two requests get the same digest iff they name the same instance
+    /// bytes, factor, heuristic and model — the exact inputs the solve
+    /// depends on. Family specs hash their parameters rather than the
+    /// generated trace, so a cache hit skips generation too.
+    pub fn digest(&self) -> Digest128 {
+        let mut h = StableHasher::new();
+        match &self.source {
+            TraceSource::Inline(trace) => {
+                h.write_str("trace");
+                h.write_str(&render(&trace.to_value()));
+            }
+            TraceSource::Family { config, rank } => {
+                h.write_str("family");
+                h.write_str(config.family.name());
+                h.write_u64(config.n_tasks as u64);
+                h.write_u64(config.seed);
+                match config.skew {
+                    Some(s) => {
+                        h.write_str("skew");
+                        h.write_u64(s.to_bits());
+                    }
+                    None => h.write_str("no-skew"),
+                }
+                h.write_u64(*rank as u64);
+            }
+        }
+        h.write_u64(self.factor.to_bits());
+        h.write_str(self.heuristic.name());
+        match self.model {
+            Some(m) => h.write_str(&m.to_string()),
+            None => h.write_str("-"),
+        }
+        h.finish()
+    }
+}
+
+/// Parses a request payload (already JSON-decoded) into a [`SolveRequest`].
+///
+/// # Errors
+///
+/// A typed [`ErrorReply`] for every schema violation: the caller sends it
+/// on the wire instead of solving.
+pub fn parse_request(value: &Value) -> Result<SolveRequest, ErrorReply> {
+    let bad = |msg: String| ErrorReply::new(ErrorCode::BadRequest, msg);
+
+    let heuristic_name: String = match value.field("heuristic") {
+        Ok(v) => Deserialize::from_value(v)
+            .map_err(|e| bad(format!("field 'heuristic' must be a string: {e}")))?,
+        Err(_) => return Err(bad("missing required field 'heuristic'".to_string())),
+    };
+    let heuristic = Heuristic::from_name(&heuristic_name).ok_or_else(|| {
+        ErrorReply::new(
+            ErrorCode::UnknownHeuristic,
+            format!("unknown heuristic '{heuristic_name}'"),
+        )
+    })?;
+
+    let model = match value.field("model") {
+        Ok(v) => {
+            let spec: String = Deserialize::from_value(v)
+                .map_err(|e| bad(format!("field 'model' must be a string: {e}")))?;
+            Some(ExecutionModel::parse(&spec).map_err(|e| {
+                ErrorReply::new(ErrorCode::InvalidModel, format!("invalid model: {e}"))
+            })?)
+        }
+        Err(_) => None,
+    };
+
+    let factor = match value.field("factor") {
+        Ok(v) => {
+            f64::from_value(v).map_err(|e| bad(format!("field 'factor' must be a number: {e}")))?
+        }
+        Err(_) => 1.0,
+    };
+    if !factor.is_finite() || factor < 0.0 {
+        return Err(bad(format!(
+            "capacity factor must be finite and non-negative, got {factor}"
+        )));
+    }
+
+    let inline = value.field("trace").ok();
+    let family = value.field("family").ok();
+    let source = match (inline, family) {
+        (Some(_), Some(_)) => {
+            return Err(bad(
+                "request must name exactly one of 'trace' or 'family', not both".to_string(),
+            ))
+        }
+        (None, None) => {
+            return Err(bad(
+                "request must name exactly one of 'trace' or 'family'".to_string()
+            ))
+        }
+        (Some(trace_value), None) => {
+            let trace = Trace::from_value(trace_value).map_err(|e| {
+                ErrorReply::new(ErrorCode::InvalidTrace, format!("invalid trace: {e}"))
+            })?;
+            TraceSource::Inline(trace)
+        }
+        (None, Some(spec)) => {
+            let family_name: String = match spec.field("family") {
+                Ok(v) => Deserialize::from_value(v)
+                    .map_err(|e| bad(format!("family 'family' must be a string: {e}")))?,
+                Err(_) => return Err(bad("family spec is missing field 'family'".to_string())),
+            };
+            let family = WorkloadFamily::from_name(&family_name)
+                .ok_or_else(|| bad(format!("unknown workload family '{family_name}'")))?;
+            let mut config = GeneratorConfig::new(family);
+            if let Ok(v) = spec.field("n_tasks") {
+                config.n_tasks = Deserialize::from_value(v)
+                    .map_err(|e| bad(format!("family 'n_tasks' must be an integer: {e}")))?;
+            }
+            if let Ok(v) = spec.field("seed") {
+                config.seed = Deserialize::from_value(v)
+                    .map_err(|e| bad(format!("family 'seed' must be an integer: {e}")))?;
+            }
+            if let Ok(v) = spec.field("skew") {
+                let skew = f64::from_value(v)
+                    .map_err(|e| bad(format!("family 'skew' must be a number: {e}")))?;
+                config.skew = Some(skew);
+            }
+            let rank: usize = match spec.field("rank") {
+                Ok(v) => Deserialize::from_value(v)
+                    .map_err(|e| bad(format!("family 'rank' must be an integer: {e}")))?,
+                Err(_) => 0,
+            };
+            config
+                .validate()
+                .map_err(|e| bad(format!("invalid family spec: {e}")))?;
+            TraceSource::Family { config, rank }
+        }
+    };
+
+    Ok(SolveRequest {
+        source,
+        heuristic,
+        model,
+        factor,
+    })
+}
+
+/// Outcome of reading one frame.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// The peer closed the connection cleanly before a new header.
+    Eof,
+    /// The announced length exceeded the ceiling; the body was drained
+    /// and the connection is positioned at the next frame.
+    Oversized(u64),
+}
+
+/// Reads one length-prefixed frame, enforcing `max_payload` bytes.
+///
+/// An announced length over the ceiling is consumed (in bounded chunks,
+/// so memory stays O(chunk)) and reported as [`FrameRead::Oversized`] —
+/// the caller can answer with a typed error and keep the connection.
+///
+/// # Errors
+///
+/// Propagates transport errors, including a connection cut mid-frame
+/// (`UnexpectedEof`).
+pub fn read_frame(reader: &mut impl Read, max_payload: usize) -> io::Result<FrameRead> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    match reader.read(&mut header)? {
+        0 => return Ok(FrameRead::Eof),
+        n => reader.read_exact(&mut header[n..])?,
+    }
+    let len = u64::from(u32::from_be_bytes(header));
+    if len > max_payload as u64 {
+        let mut sink = io::sink();
+        io::copy(&mut reader.take(len), &mut sink)?;
+        return Ok(FrameRead::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(FrameRead::Payload(payload))
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates transport errors; payloads over `u32::MAX` bytes are
+/// rejected as [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    // One coalesced write per frame: splitting the 4-byte header and the
+    // payload into separate segments makes Nagle hold the payload until
+    // the peer's delayed ACK (~40 ms per frame on loopback).
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Serializes a request back to its canonical JSON (used by the client
+/// and the load generator; the server only parses).
+pub fn request_to_value(req: &SolveRequest) -> Value {
+    let mut fields = Vec::new();
+    match &req.source {
+        TraceSource::Inline(trace) => fields.push(("trace".to_string(), trace.to_value())),
+        TraceSource::Family { config, rank } => {
+            let mut spec = vec![
+                (
+                    "family".to_string(),
+                    Value::Str(config.family.name().to_string()),
+                ),
+                ("n_tasks".to_string(), Value::UInt(config.n_tasks as u64)),
+                ("seed".to_string(), Value::UInt(config.seed)),
+            ];
+            if let Some(skew) = config.skew {
+                spec.push(("skew".to_string(), Value::Float(skew)));
+            }
+            spec.push(("rank".to_string(), Value::UInt(*rank as u64)));
+            fields.push(("family".to_string(), Value::Object(spec)));
+        }
+    }
+    fields.push((
+        "heuristic".to_string(),
+        Value::Str(req.heuristic.name().to_string()),
+    ));
+    if let Some(model) = req.model {
+        fields.push(("model".to_string(), Value::Str(model.to_string())));
+    }
+    fields.push(("factor".to_string(), Value::Float(req.factor)));
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family_request_value() -> Value {
+        let spec = Value::Object(vec![
+            ("family".to_string(), Value::Str("md".to_string())),
+            ("n_tasks".to_string(), Value::UInt(8)),
+            ("seed".to_string(), Value::UInt(3)),
+        ]);
+        Value::Object(vec![
+            ("family".to_string(), spec),
+            ("heuristic".to_string(), Value::Str("OS".to_string())),
+        ])
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"a\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor, 1 << 20).unwrap() {
+            FrameRead::Payload(p) => assert_eq!(p, b"{\"a\":1}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match read_frame(&mut cursor, 1 << 20).unwrap() {
+            FrameRead::Payload(p) => assert!(p.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut cursor, 1 << 20).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_drained_not_buffered() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0x5a; 256]).unwrap();
+        write_frame(&mut buf, b"next").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor, 16).unwrap() {
+            FrameRead::Oversized(len) => assert_eq!(len, 256),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The stream is positioned at the next frame.
+        match read_frame(&mut cursor, 16).unwrap() {
+            FrameRead::Payload(p) => assert_eq!(p, b"next"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_a_transport_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor, 1 << 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn parse_accepts_family_requests_and_defaults() {
+        let req = parse_request(&family_request_value()).unwrap();
+        assert_eq!(req.heuristic.name(), "OS");
+        assert_eq!(req.task_count(), 8);
+        assert!(req.model.is_none());
+        assert_eq!(req.factor, 1.0);
+    }
+
+    #[test]
+    fn parse_rejects_schema_violations_with_typed_codes() {
+        let cases: Vec<(Value, ErrorCode)> = vec![
+            (Value::Object(vec![]), ErrorCode::BadRequest),
+            (
+                Value::Object(vec![(
+                    "heuristic".to_string(),
+                    Value::Str("NOPE".to_string()),
+                )]),
+                ErrorCode::UnknownHeuristic,
+            ),
+            (
+                {
+                    let mut v = family_request_value();
+                    if let Value::Object(fields) = &mut v {
+                        fields.push(("model".to_string(), Value::Str("warp-drive".to_string())));
+                    }
+                    v
+                },
+                ErrorCode::InvalidModel,
+            ),
+            (
+                {
+                    let mut v = family_request_value();
+                    if let Value::Object(fields) = &mut v {
+                        fields.push(("factor".to_string(), Value::Float(-1.0)));
+                    }
+                    v
+                },
+                ErrorCode::BadRequest,
+            ),
+            (
+                Value::Object(vec![
+                    ("heuristic".to_string(), Value::Str("OS".to_string())),
+                    ("trace".to_string(), Value::Null),
+                ]),
+                ErrorCode::InvalidTrace,
+            ),
+        ];
+        for (value, expected) in cases {
+            let err = parse_request(&value).unwrap_err();
+            assert_eq!(err.code, expected, "for {value:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive_to_every_input() {
+        let base = parse_request(&family_request_value()).unwrap();
+        let d0 = base.digest();
+        assert_eq!(d0, base.digest(), "digest is deterministic");
+
+        let mut other = base.clone();
+        other.factor = 2.0;
+        assert_ne!(d0, other.digest(), "factor changes the key");
+
+        let mut other = base.clone();
+        other.heuristic = Heuristic::from_name("GG").unwrap();
+        assert_ne!(d0, other.digest(), "heuristic changes the key");
+
+        let mut other = base.clone();
+        other.model = Some(ExecutionModel::Duplex);
+        assert_ne!(d0, other.digest(), "model changes the key");
+
+        let mut other = base.clone();
+        if let TraceSource::Family { config, .. } = &mut other.source {
+            config.seed += 1;
+        }
+        assert_ne!(d0, other.digest(), "seed changes the key");
+    }
+
+    #[test]
+    fn request_value_round_trips_through_parse() {
+        let req = parse_request(&family_request_value()).unwrap();
+        let round = parse_request(&request_to_value(&req)).unwrap();
+        assert_eq!(req.digest(), round.digest());
+    }
+
+    #[test]
+    fn error_replies_render_typed_json() {
+        let reply = ErrorReply::new(ErrorCode::QueueFull, "busy");
+        let json = reply.to_json();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let status: String = Deserialize::from_value(value.field("status").unwrap()).unwrap();
+        let code: String = Deserialize::from_value(value.field("code").unwrap()).unwrap();
+        assert_eq!((status.as_str(), code.as_str()), ("error", "queue-full"));
+    }
+}

@@ -285,12 +285,14 @@ pub const DENSE_LA_BYTES_PER_MICRO: u64 = 1024;
 
 fn dense_la_tasks(n: usize, skew: f64, rng: &mut StdRng) -> Vec<TraceTask> {
     // Zipf-skewed computation times: panel i (by weight rank) computes for
-    // base * (i+1)^-skew µs. glibc's `pow` is correctly rounded, so the
-    // weights — and therefore the golden corpus metrics — are bit-stable.
+    // base * (i+1)^-skew µs. The weights come from the integer fixed-point
+    // machinery below, not `f64::powf` — `pow` is not correctly rounded on
+    // every libm, and a one-ulp difference in a weight moves a computation
+    // time by a microsecond and the golden corpus metrics with it.
+    let skew_q32 = skew_to_q32(skew);
     let mut comps: Vec<u64> = (0..n)
         .map(|i| {
-            let weight = ((i + 1) as f64).powf(-skew);
-            (DENSE_LA_COMP_BASE as f64 * weight).round() as u64 + DENSE_LA_COMP_FLOOR
+            zipf_weight_scaled(DENSE_LA_COMP_BASE, i as u64 + 1, skew_q32) + DENSE_LA_COMP_FLOOR
         })
         .collect();
     // The submission order must not leak the weight rank (real panel
@@ -310,6 +312,101 @@ fn dense_la_tasks(n: usize, skew: f64, rng: &mut StdRng) -> Vec<TraceTask> {
             }
         })
         .collect()
+}
+
+/// Q32 fixed-point one (`2^32`): the scale of the integer Zipf weight
+/// machinery below.
+const Q32: u128 = 1 << 32;
+
+/// `2^(2^-j)` for `j = 1..=32`, rounded to Q32 fixed point — the binary
+/// fraction factors behind [`zipf_weight_scaled`]'s `exp2`. Hardcoded so
+/// the Zipf weights are pure integer arithmetic: identical on every
+/// platform, independent of the host libm.
+const EXP2_FACTORS_Q32: [u64; 32] = [
+    0x0000_0001_6a09_e668,
+    0x0000_0001_306f_e0a3,
+    0x0000_0001_172b_83c8,
+    0x0000_0001_0b55_86d0,
+    0x0000_0001_059b_0d31,
+    0x0000_0001_02c9_a3e7,
+    0x0000_0001_0163_daa0,
+    0x0000_0001_00b1_afa6,
+    0x0000_0001_0058_c86e,
+    0x0000_0001_002c_605e,
+    0x0000_0001_0016_2f39,
+    0x0000_0001_000b_175f,
+    0x0000_0001_0005_8ba0,
+    0x0000_0001_0002_c5cc,
+    0x0000_0001_0001_62e5,
+    0x0000_0001_0000_b172,
+    0x0000_0001_0000_58b9,
+    0x0000_0001_0000_2c5d,
+    0x0000_0001_0000_162e,
+    0x0000_0001_0000_0b17,
+    0x0000_0001_0000_058c,
+    0x0000_0001_0000_02c6,
+    0x0000_0001_0000_0163,
+    0x0000_0001_0000_00b1,
+    0x0000_0001_0000_0059,
+    0x0000_0001_0000_002c,
+    0x0000_0001_0000_0016,
+    0x0000_0001_0000_000b,
+    0x0000_0001_0000_0006,
+    0x0000_0001_0000_0003,
+    0x0000_0001_0000_0001,
+    0x0000_0001_0000_0001,
+];
+
+/// Converts a validated skew (finite, positive) to Q32 fixed point.
+/// Scaling by a power of two and rounding are exact IEEE operations, so
+/// this is deterministic even though the input is an `f64`; skews beyond
+/// the representable range saturate (the weights just floor out earlier).
+fn skew_to_q32(skew: f64) -> u64 {
+    (skew * Q32 as f64).round() as u64
+}
+
+/// `log2(x)` in Q32 fixed point for `x >= 1`: leading zeros give the
+/// integer part, 32 mantissa-squaring steps the fraction. Pure integer.
+fn log2_q32(x: u64) -> u128 {
+    debug_assert!(x >= 1);
+    let int_part = u128::from(63 - x.leading_zeros());
+    // Mantissa in [1, 2) as Q32.
+    let mut m = (u128::from(x) << 32) >> int_part;
+    let mut frac: u128 = 0;
+    for _ in 0..32 {
+        m = (m * m) >> 32;
+        frac <<= 1;
+        if m >= 2 * Q32 {
+            frac |= 1;
+            m >>= 1;
+        }
+    }
+    (int_part << 32) | frac
+}
+
+/// `round(base * rank^-skew)` in pure integer arithmetic: the Zipf weight
+/// of `rank >= 1` scaled by `base`, with the skew in Q32 fixed point.
+/// Computes `e = skew * log2(rank)`, splits it into integer and fraction,
+/// rebuilds `2^frac` from [`EXP2_FACTORS_Q32`] and divides — every step
+/// integer, so the result is bit-identical across platforms.
+fn zipf_weight_scaled(base: u64, rank: u64, skew_q32: u64) -> u64 {
+    let e = (u128::from(skew_q32) * log2_q32(rank)) >> 32;
+    let int = e >> 32;
+    if int >= 64 {
+        // 2^-64 of any u64 base rounds to zero.
+        return 0;
+    }
+    let frac = e & (Q32 - 1);
+    let mut t = Q32;
+    for (j, &factor) in EXP2_FACTORS_Q32.iter().enumerate() {
+        if frac & (1 << (31 - j)) != 0 {
+            t = (t * u128::from(factor)) >> 32;
+        }
+    }
+    // base * 2^-e = base * 2^32 / (2^int * t), rounded half up.
+    let d = t << int;
+    let num = (u128::from(base) << 32) + d / 2;
+    (num / d) as u64
 }
 
 /// Ticks per abstract [`testgen`] unit when a property-test domain is
@@ -341,6 +438,54 @@ fn promoted_tasks(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zipf_weight_table_is_pinned_and_libm_free() {
+        // The head of the dense-LA weight table at the default skew,
+        // pinned value by value: these numbers are what the golden corpus
+        // metrics are built on, and the integer machinery guarantees them
+        // on every platform — a libm regression (or a future "simplify
+        // back to powf") shows up here before it shows up as a golden
+        // mismatch on someone else's machine.
+        let sq = skew_to_q32(DEFAULT_DENSE_LA_SKEW);
+        assert_eq!(sq, 5_153_960_755);
+        let expected: [u64; 16] = [
+            4_000_000, 1_741_101, 1_070_322, 757_858, 579_824, 465_885, 387_206, 329_877, 286_397,
+            252_383, 225_107, 202_788, 184_216, 168_541, 155_150, 143_587,
+        ];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(
+                zipf_weight_scaled(DENSE_LA_COMP_BASE, i as u64 + 1, sq),
+                want,
+                "rank {}",
+                i + 1
+            );
+        }
+        assert_eq!(zipf_weight_scaled(DENSE_LA_COMP_BASE, 100, sq), 15_924);
+        assert_eq!(zipf_weight_scaled(DENSE_LA_COMP_BASE, 1_000, sq), 1_005);
+    }
+
+    #[test]
+    fn zipf_weights_are_monotone_and_saturate_safely() {
+        // Weights never increase down the rank tail, the head weight is
+        // the full base, and extreme skews floor out at zero instead of
+        // overflowing the fixed-point pipeline.
+        for skew in [0.3, 1.0, 1.2, 2.5] {
+            let sq = skew_to_q32(skew);
+            assert_eq!(
+                zipf_weight_scaled(DENSE_LA_COMP_BASE, 1, sq),
+                DENSE_LA_COMP_BASE
+            );
+            let mut prev = u64::MAX;
+            for rank in 1..=4096 {
+                let w = zipf_weight_scaled(DENSE_LA_COMP_BASE, rank, sq);
+                assert!(w <= prev, "skew {skew} rank {rank}: {w} > {prev}");
+                prev = w;
+            }
+        }
+        assert_eq!(zipf_weight_scaled(DENSE_LA_COMP_BASE, 2, u64::MAX), 0);
+        assert_eq!(zipf_weight_scaled(u64::MAX, 1, skew_to_q32(1.2)), u64::MAX);
+    }
 
     #[test]
     fn names_round_trip_and_describe() {

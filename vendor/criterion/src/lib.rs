@@ -158,7 +158,39 @@ impl Criterion {
             .iter()
             .map(|d| d.as_nanos() as f64 * cli.inject_slowdown)
             .collect();
-        let summary = Summary::compute(&samples_ns, self.effective_warmup(cli), stats::id_seed(id));
+        self.report_samples(id, &samples_ns, self.effective_warmup(cli), cli);
+        self
+    }
+
+    /// Records an externally measured sample set (nanoseconds per event)
+    /// under `id`, running it through the same summary/baseline/report
+    /// pipeline as a timed benchmark. Load generators use this to gate
+    /// quantities a [`Bencher::iter`] loop cannot express — per-request
+    /// latency percentiles of a concurrent run, or inverted-throughput
+    /// series — while keeping `--save-baseline` / `--baseline` regression
+    /// gating and the JSON export identical to timed benchmarks. Empty
+    /// sample sets are skipped with a notice, like a filtered benchmark.
+    pub fn bench_recorded(&mut self, id: &str, samples_ns: &[f64]) -> &mut Self {
+        let cli = cli::config();
+        if let Some(filter) = &cli.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if samples_ns.is_empty() {
+            println!("{id:<44} no samples recorded");
+            return self;
+        }
+        let adjusted: Vec<f64> = samples_ns.iter().map(|s| s * cli.inject_slowdown).collect();
+        self.report_samples(id, &adjusted, 0, cli);
+        self
+    }
+
+    /// Shared back half of [`Criterion::bench_function`] and
+    /// [`Criterion::bench_recorded`]: summary statistics, console line,
+    /// baseline save/compare, report registration.
+    fn report_samples(&self, id: &str, samples_ns: &[f64], warmup_passes: usize, cli: &CliConfig) {
+        let summary = Summary::compute(samples_ns, warmup_passes, stats::id_seed(id));
         println!(
             "{id:<44} mean {} [{} {}] (95% CI, {} samples), median {} ±{}{}",
             format_ns(summary.mean_ns),
@@ -214,7 +246,6 @@ impl Criterion {
             summary,
             comparison,
         });
-        self
     }
 }
 
