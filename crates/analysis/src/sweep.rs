@@ -210,6 +210,7 @@ mod tests {
             rank: 999,
             tasks: Vec::new(),
             model: None,
+            cost_model: None,
         };
         let config = SweepConfig {
             heuristics: vec![Heuristic::OS],

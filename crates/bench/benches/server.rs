@@ -50,6 +50,7 @@ fn request(seed: u64) -> SolveRequest {
         source: TraceSource::Family { config, rank: 0 },
         heuristic: Heuristic::DOCPS,
         model: None,
+        cost_model: None,
         factor: 1.5,
     }
 }

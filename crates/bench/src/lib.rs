@@ -174,6 +174,7 @@ pub fn tiled_trace_instance(kernel: Kernel, n_tasks: usize, factor: f64) -> Resu
         rank: base.rank,
         tasks,
         model: None,
+        cost_model: None,
     };
     tiled.to_instance_scaled(factor)
 }

@@ -192,6 +192,7 @@ pub fn generate_ccsd_trace(
         rank,
         tasks,
         model: None,
+        cost_model: None,
     }
 }
 

@@ -150,6 +150,7 @@ pub fn generate_hf_trace(
         rank,
         tasks,
         model: None,
+        cost_model: None,
     }
 }
 

@@ -50,6 +50,11 @@ pub struct Trace {
     /// --model`); absent means the paper's explicit half-duplex link.
     /// Threaded into every instance built from the trace.
     pub model: Option<ExecutionModel>,
+    /// Cost model to materialize task durations under (stamped by `dts run
+    /// --cost-model` before conversion); absent means the analytic default —
+    /// the trace's recorded durations verbatim. Applied by
+    /// [`Trace::to_instance`].
+    pub cost_model: Option<CostModelSpec>,
 }
 
 // Hand-written (de)serialization so the `model` key is omitted when absent
@@ -65,6 +70,9 @@ impl Serialize for Trace {
         if let Some(model) = &self.model {
             fields.push(("model".to_string(), model.to_value()));
         }
+        if let Some(cost_model) = &self.cost_model {
+            fields.push(("cost_model".to_string(), cost_model.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -75,11 +83,16 @@ impl Deserialize for Trace {
             Ok(v) => Option::<ExecutionModel>::from_value(v)?,
             Err(_) => None,
         };
+        let cost_model = match value.field("cost_model") {
+            Ok(v) => Option::<CostModelSpec>::from_value(v)?.filter(|m| !m.is_analytic()),
+            Err(_) => None,
+        };
         Ok(Trace {
             kernel: Deserialize::from_value(value.field("kernel")?)?,
             rank: Deserialize::from_value(value.field("rank")?)?,
             tasks: Deserialize::from_value(value.field("tasks")?)?,
             model,
+            cost_model,
         })
     }
 }
@@ -127,13 +140,17 @@ impl Trace {
 
     /// Converts the trace into a scheduling [`Instance`] with the given
     /// memory capacity. A model carried by the trace is attached to the
-    /// instance, so every executor and heuristic honors it.
+    /// instance, so every executor and heuristic honors it; a cost model
+    /// carried by the trace is materialized into the task durations here —
+    /// once per instance, never per scheduling decision.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidTrace`] when the summed task times
     /// overflow `u64` (see [`Trace::check_time_totals`]) — such a trace
-    /// cannot be simulated without wrapping the clock.
+    /// cannot be simulated without wrapping the clock — and
+    /// [`CoreError::InvalidCostModel`] when a stamped cost model is
+    /// malformed or its predictions overflow the clock.
     pub fn to_instance(&self, capacity: MemSize) -> Result<Instance> {
         self.check_time_totals()?;
         let tasks = self
@@ -153,8 +170,12 @@ impl Trace {
             capacity,
             format!("{}-rank{}", self.kernel, self.rank),
         )?;
-        match self.model {
-            Some(model) => instance.with_model(model),
+        let instance = match self.model {
+            Some(model) => instance.with_model(model)?,
+            None => instance,
+        };
+        match &self.cost_model {
+            Some(spec) => instance.with_cost_model(spec),
             None => Ok(instance),
         }
     }
@@ -229,6 +250,7 @@ mod tests {
                 },
             ],
             model: None,
+            cost_model: None,
         }
     }
 
@@ -333,6 +355,48 @@ mod tests {
             trace.to_instance_scaled(1.5),
             Err(CoreError::InvalidExecutionModel(_))
         ));
+    }
+
+    #[test]
+    fn cost_model_is_optional_in_json_and_materializes_times() {
+        use dts_core::perfmodel::{LinearFit, RegressionModel, PS_PER_MICRO};
+
+        // Model-less traces keep serializing without a `cost_model` key.
+        let mut trace = sample();
+        let json = trace.to_json().unwrap();
+        assert!(!json.contains("cost_model"));
+        assert_eq!(Trace::from_json(&json).unwrap().cost_model, None);
+
+        // A stamped model round-trips and rewrites the instance durations.
+        let spec = CostModelSpec::Regression(
+            RegressionModel::new(
+                vec![(
+                    LinkClass::HostToDevice,
+                    LinearFit {
+                        alpha_us: 10,
+                        beta_ps_per_byte: PS_PER_MICRO / 1000, // 1 µs per KB
+                        samples: 2,
+                    },
+                )],
+                vec![(
+                    ComputeBackend::Cpu,
+                    LinearFit {
+                        alpha_us: 40,
+                        beta_ps_per_byte: 0,
+                        samples: 2,
+                    },
+                )],
+            )
+            .unwrap(),
+        );
+        trace.cost_model = Some(spec.clone());
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
+        assert_eq!(back.cost_model, Some(spec.clone()));
+        let inst = back.to_instance_scaled(1.5).unwrap();
+        assert_eq!(inst.cost_model(), spec);
+        // fock(0,1): 160 000 bytes → 10 + 160 µs transfer, 40 µs compute.
+        assert_eq!(inst.task(TaskId(0)).comm_time, Time::from_micros(170));
+        assert_eq!(inst.task(TaskId(0)).comp_time, Time::from_micros(40));
     }
 
     #[test]

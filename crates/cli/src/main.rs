@@ -21,6 +21,15 @@
 //! * `dts trace export <trace.json> <out.json>` — convert a trace to the
 //!   versioned on-disk format; `dts trace import <versioned.json>
 //!   <out.json>` — strictly validate a versioned file and convert it back;
+//! * `dts calibrate <trace.json>... [--backend <b>] [--out <file>]` — fit
+//!   a cost model (regression or history) to the observed per-task
+//!   durations of one or more traces, print a residual report, and
+//!   optionally write a versioned dts-cost-model file;
+//! * `--cost-model <file|analytic>` on `run`, `request` and `corpus`
+//!   re-predicts every task duration through a saved model before
+//!   scheduling (`analytic` forces the trace's native durations); `corpus`
+//!   prints the re-predicted suite as a what-if view instead of diffing
+//!   the golden file;
 //! * `dts corpus [--update-golden] [--golden <path>]` — run the
 //!   golden-metric scenario suite (every heuristic × every execution model
 //!   over the full corpus) and diff it against the committed golden file;
@@ -37,7 +46,8 @@ use dts_chem::suite::{generate_partial_suite, SuiteConfig};
 use dts_chem::{characterize, Kernel, Trace};
 use dts_core::gantt;
 use dts_core::metrics::ScheduleMetrics;
-use dts_core::{CoreError, ExecutionModel};
+use dts_core::perfmodel::{self, CalibrationObservations};
+use dts_core::{CoreError, CostModel, CostModelSpec, ExecutionModel, MemSize, Task, Time};
 use dts_flowshop::johnson::johnson_makespan;
 use dts_heuristics::{run_heuristic, Heuristic};
 use dts_server::{Client, Server, ServerConfig, SolveRequest, TraceSource};
@@ -123,6 +133,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
@@ -163,6 +174,7 @@ fn usage() -> String {
          \x20 sweep <trace.json>                    run all heuristics across the capacity sweep (CSV)\n\
          \x20 trace export <trace.json> <out.json>  convert a trace to the versioned on-disk format\n\
          \x20 trace import <in.json> <out.json>     strictly validate a versioned trace file\n\
+         \x20 calibrate <trace.json>...             fit a cost model to observed task durations\n\
          \x20 corpus [--update-golden]              run the golden-metric scenario suite\n\
          \x20 serve [--addr <host:port>]            run the scheduling daemon\n\
          \x20 request <addr> <source> <heuristic> [factor]  query a running daemon\n\
@@ -175,10 +187,16 @@ fn usage() -> String {
          \n\
          options (generate, run):\n\
          \x20 --model <spec>  execution model: explicit | duplex | streams:<k> | implicit[:<eff>]\n\
+         options (run, request, corpus):\n\
+         \x20 --cost-model <file|analytic>  re-predict task durations through a saved cost model\n\
          options (generate, synthetic families only):\n\
          \x20 --tasks <n>     tasks per rank (default per family)\n\
          \x20 --seed <s>      base seed of the suite (default 0)\n\
          \x20 --skew <x>      Zipf exponent, dense-la only (default 1.2)\n\
+         \x20 --bandwidth <b> derive comm times from task memory at <b> bytes/s (±2% jitter)\n\
+         options (calibrate):\n\
+         \x20 --backend <b>   fitted backend: regression (default) | history\n\
+         \x20 --out <file>    write the fitted dts-cost-model file here\n\
          options (corpus):\n\
          \x20 --golden <path> golden file to diff against (default: the committed one)\n\
          \x20 --update-golden rewrite the golden file from this build (the only sanctioned change path)\n\
@@ -200,6 +218,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let (args, tasks_flag) = take_value_flag(&args, "tasks")?;
     let (args, seed_flag) = take_value_flag(&args, "seed")?;
     let (args, skew_flag) = take_value_flag(&args, "skew")?;
+    let (args, bandwidth_flag) = take_value_flag(&args, "bandwidth")?;
     let source = args.first().map(String::as_str).unwrap_or("");
     let kernel = match source {
         "hf" => Some(Kernel::HartreeFock),
@@ -223,6 +242,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             ("--tasks", &tasks_flag),
             ("--seed", &seed_flag),
             ("--skew", &skew_flag),
+            ("--bandwidth", &bandwidth_flag),
         ] {
             if value.is_some() {
                 return Err(format!(
@@ -248,6 +268,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             &tasks_flag,
             &seed_flag,
             &skew_flag,
+            &bandwidth_flag,
             model,
         );
     }
@@ -302,6 +323,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 /// validated through [`GeneratorConfig::validate`], so `--skew` on a
 /// family that does not support it fails with the same typed message the
 /// library reports.
+#[allow(clippy::too_many_arguments)]
 fn generate_family_suite(
     family: WorkloadFamily,
     dir: &str,
@@ -309,6 +331,7 @@ fn generate_family_suite(
     tasks_flag: &Option<String>,
     seed_flag: &Option<String>,
     skew_flag: &Option<String>,
+    bandwidth_flag: &Option<String>,
     model: Option<ExecutionModel>,
 ) -> Result<(), String> {
     let mut config = GeneratorConfig::new(family);
@@ -327,6 +350,11 @@ fn generate_family_suite(
             skew.parse()
                 .map_err(|_| format!("--skew must be a number, got '{skew}'"))?,
         );
+    }
+    if let Some(bandwidth) = bandwidth_flag {
+        config.bandwidth = Some(bandwidth.parse().map_err(|_| {
+            format!("--bandwidth must be a positive number of bytes per second, got '{bandwidth}'")
+        })?);
     }
     config.validate().map_err(|e| e.to_string())?;
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -388,13 +416,127 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a `--cost-model` argument: the literal `analytic` (any case)
+/// or a path to a dts-cost-model file, strictly validated on load.
+fn load_cost_model(arg: &str) -> Result<CostModelSpec, String> {
+    if arg.eq_ignore_ascii_case("analytic") {
+        return Ok(CostModelSpec::Analytic);
+    }
+    perfmodel::import_model_file(std::path::Path::new(arg)).map_err(|e| e.to_string())
+}
+
+/// Stamps a cost-model override into a trace before it materializes an
+/// instance: a fitted spec replaces whatever the trace embeds, and an
+/// explicit `analytic` clears it (forcing the native durations).
+fn apply_cost_model_override(trace: &mut Trace, arg: &str) -> Result<(), String> {
+    let spec = load_cost_model(arg)?;
+    trace.cost_model = (!spec.is_analytic()).then_some(spec);
+    Ok(())
+}
+
+fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+    let (args, backend_flag) = take_value_flag(args, "backend")?;
+    let (args, out_flag) = take_value_flag(&args, "out")?;
+    if args.is_empty() {
+        return Err(
+            "expected at least one trace file; usage: dts calibrate <trace.json>... \
+             [--backend regression|history] [--out <file>]"
+                .into(),
+        );
+    }
+    let backend = backend_flag.as_deref().unwrap_or("regression");
+    let mut observations = CalibrationObservations::default();
+    for path in &args {
+        let mut trace = load_trace(path)?;
+        // Calibration reads the trace's *native* durations: an embedded
+        // cost model would make the fit chase its own predictions.
+        trace.cost_model = None;
+        let instance = trace
+            .to_instance_scaled(1.0)
+            .map_err(|e| format!("cannot build an instance from {path}: {e}"))?;
+        observations.extend(perfmodel::observations_of(&instance));
+        println!("loaded             {path} ({} tasks)", instance.len());
+    }
+    let spec = match backend {
+        "regression" => observations.fit_regression(),
+        "history" => observations.fit_history(),
+        other => {
+            return Err(format!(
+                "unknown backend '{other}'; expected regression or history"
+            ))
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    // Residual report: how well the fitted model re-predicts the very
+    // observations it was fitted from, per observation kind. The scaled
+    // integer fields keep the lines stable and greppable (100 bp = 1 %,
+    // 1_000_000 ppm = perfect R^2).
+    let probe = |bytes| {
+        Task::new(
+            "probe",
+            Time::from_micros(0),
+            Time::from_micros(0),
+            MemSize::from_bytes(bytes),
+        )
+    };
+    let transfer = perfmodel::fit_quality(&observations.transfer, |bytes| {
+        spec.transfer_time(&probe(bytes), perfmodel::LinkClass::HostToDevice)
+            .ticks()
+    });
+    let compute = perfmodel::fit_quality(&observations.compute, |bytes| {
+        spec.compute_time(&probe(bytes), perfmodel::ComputeBackend::Cpu)
+            .ticks()
+    });
+    println!("backend            {}", spec.backend_name());
+    for (kind, report) in [("transfer fit", &transfer), ("compute fit", &compute)] {
+        println!(
+            "{kind:<18} samples={} skipped_zero={} mean_rel_err_bp={} r2_ppm={}",
+            report.samples, report.skipped_zero, report.mean_rel_err_bp, report.r2_ppm
+        );
+    }
+    if let Some(out) = out_flag {
+        perfmodel::export_model_file(&spec, std::path::Path::new(&out))
+            .map_err(|e| e.to_string())?;
+        println!("wrote              {out}");
+    }
+    Ok(())
+}
+
 fn cmd_corpus(args: &[String]) -> Result<(), String> {
     let (args, update) = take_bool_flag(args, "update-golden");
     let (args, golden_flag) = take_value_flag(&args, "golden")?;
+    let (args, cost_model_flag) = take_value_flag(&args, "cost-model")?;
     if let Some(stray) = args.first() {
         return Err(format!(
-            "unexpected argument '{stray}'; usage: dts corpus [--update-golden] [--golden <path>]"
+            "unexpected argument '{stray}'; usage: dts corpus [--update-golden] [--golden <path>] \
+             [--cost-model <file|analytic>]"
         ));
+    }
+    if let Some(arg) = &cost_model_flag {
+        let spec = load_cost_model(arg)?;
+        if update {
+            return Err(
+                "--update-golden cannot be combined with --cost-model: the golden file \
+                 pins the analytic baseline only"
+                    .into(),
+            );
+        }
+        if spec.is_analytic() {
+            // `analytic` is exactly the golden configuration; fall through
+            // to the normal golden diff below.
+        } else {
+            // What-if view: the same suite under re-predicted durations,
+            // rendered in the golden format but never compared against
+            // (or written to) the golden file.
+            let current = corpus::run_corpus_with(Some(&spec)).map_err(|e| e.to_string())?;
+            println!(
+                "what-if corpus under the {} cost model ({} entries, not diffed against the golden):",
+                spec.backend_name(),
+                current.len()
+            );
+            print!("{}", corpus::render_golden(&current));
+            return Ok(());
+        }
     }
     let golden_path = golden_flag
         .map(std::path::PathBuf::from)
@@ -477,6 +619,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_request(args: &[String]) -> Result<(), String> {
     let (args, model) = take_model_flag(args)?;
+    let (args, cost_model_flag) = take_value_flag(&args, "cost-model")?;
     let (args, tasks_flag) = take_value_flag(&args, "tasks")?;
     let (args, seed_flag) = take_value_flag(&args, "seed")?;
     let (args, skew_flag) = take_value_flag(&args, "skew")?;
@@ -523,13 +666,30 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 return Err(format!("{flag} only applies to family requests"));
             }
         }
-        TraceSource::Inline(load_trace(source_arg)?)
+        // Mirror the daemon's typed error shape for a trace that cannot
+        // even be loaded client-side: the bracketed code is the same
+        // `invalid-trace` the daemon would answer with (`ErrorCode::
+        // InvalidTrace`), so scripts dispatch on one spelling either way.
+        TraceSource::Inline(Trace::load(source_arg).map_err(|e| {
+            format!(
+                "[{}] cannot load {source_arg}: {e}",
+                dts_server::ErrorCode::InvalidTrace
+            )
+        })?)
     };
 
+    let cost_model = match &cost_model_flag {
+        // An explicit `analytic` is sent as `Some(Analytic)`: on the wire
+        // it overrides (clears) whatever cost model the trace embeds,
+        // which an absent field would leave in force.
+        Some(arg) => Some(load_cost_model(arg)?),
+        None => None,
+    };
     let request = SolveRequest {
         source,
         heuristic,
         model,
+        cost_model,
         factor,
     };
     let mut client = Client::connect(addr.as_str())
@@ -611,6 +771,7 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (args, model_override) = take_model_flag(args)?;
+    let (args, cost_model_flag) = take_value_flag(&args, "cost-model")?;
     let path = args.first().ok_or("expected a trace file")?;
     let heuristic_name = args.get(1).ok_or("expected a heuristic name")?;
     let factor: f64 = args
@@ -625,7 +786,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let heuristic = Heuristic::from_name(heuristic_name)
         .ok_or_else(|| format!("unknown heuristic '{heuristic_name}'"))?;
-    let trace = load_trace(path)?;
+    let mut trace = load_trace(path)?;
+    if let Some(arg) = &cost_model_flag {
+        apply_cost_model_override(&mut trace, arg)?;
+    }
     let mut instance = trace
         .to_instance_scaled(factor)
         .map_err(|e| e.to_string())?;
@@ -637,6 +801,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let makespan = schedule.makespan(&instance);
     println!("heuristic          {heuristic}");
     println!("model              {}", instance.model());
+    println!("cost model         {}", instance.cost_model());
     println!(
         "capacity           {} ({}x mc)",
         instance.capacity(),

@@ -523,3 +523,166 @@ fn corpus_golden_workflow_blesses_verifies_and_catches_tampering() {
     assert_eq!(output.status.code(), Some(1));
     assert!(stderr(&output).contains("unexpected argument"));
 }
+
+/// Generates one bandwidth-linear transfer-bound trace into `dir` and
+/// returns the trace file's path. With `--bandwidth` the generator's
+/// communication times are linear in bytes (±2% jitter), so a regression
+/// calibration must recover the line almost exactly.
+fn generate_bandwidth_trace(dir: &Path) -> PathBuf {
+    let dir_str = dir.to_str().expect("scratch path is UTF-8");
+    let output = dts(&[
+        "generate",
+        "transfer-bound",
+        dir_str,
+        "1",
+        "--tasks",
+        "200",
+        "--seed",
+        "13",
+        "--bandwidth",
+        "1000",
+    ]);
+    assert!(
+        output.status.success(),
+        "trace generation failed: {}",
+        stderr(&output)
+    );
+    dir.join("transfer-bound-rank000.json")
+}
+
+#[test]
+fn calibrate_fits_a_bandwidth_trace_within_tolerance() {
+    let scratch = ScratchDir::new("calibrate-fit");
+    let trace = generate_bandwidth_trace(scratch.path());
+    let model = scratch.path().join("model.json");
+    let output = dts(&[
+        "calibrate",
+        trace.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "calibrate: {}", stderr(&output));
+    let report = stdout(&output);
+    assert!(report.contains("backend            regression"), "{report}");
+    // The residual report's transfer fit must recover the generator's
+    // bandwidth line well within the 5% (500 bp) acceptance bound.
+    let err_bp: u64 = report
+        .lines()
+        .find(|l| l.starts_with("transfer fit"))
+        .and_then(|l| l.split("mean_rel_err_bp=").nth(1))
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("transfer fit line with mean_rel_err_bp")
+        .parse()
+        .expect("mean_rel_err_bp is an integer");
+    assert!(err_bp < 500, "transfer fit off by {err_bp} bp: {report}");
+    assert!(model.exists(), "calibrate --out wrote no model file");
+}
+
+#[test]
+fn calibrate_is_deterministic_and_its_model_reloads() {
+    let scratch = ScratchDir::new("calibrate-determinism");
+    let trace = generate_bandwidth_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    let first = scratch.path().join("model1.json");
+    let second = scratch.path().join("model2.json");
+    for model in [&first, &second] {
+        let output = dts(&["calibrate", trace, "--out", model.to_str().unwrap()]);
+        assert!(output.status.success(), "calibrate: {}", stderr(&output));
+    }
+    // Same trace, same fit, byte-identical file — the round-trip
+    // stability `dts request` relies on when hashing model specs.
+    assert_eq!(
+        std::fs::read(&first).unwrap(),
+        std::fs::read(&second).unwrap(),
+        "calibrate is not deterministic"
+    );
+    let output = dts(&[
+        "run",
+        trace,
+        "OOMAMR",
+        "--cost-model",
+        first.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "run: {}", stderr(&output));
+    assert!(
+        stdout(&output).contains("cost model         regression"),
+        "{}",
+        stdout(&output)
+    );
+}
+
+#[test]
+fn run_under_a_fitted_cost_model_changes_the_schedule() {
+    let scratch = ScratchDir::new("run-cost-model");
+    let trace = generate_bandwidth_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    let model = scratch.path().join("model.json");
+    let output = dts(&["calibrate", trace, "--out", model.to_str().unwrap()]);
+    assert!(output.status.success(), "calibrate: {}", stderr(&output));
+
+    let native = dts(&["run", trace, "DOCPS"]);
+    assert!(native.status.success(), "native: {}", stderr(&native));
+    let modeled = dts(&[
+        "run",
+        trace,
+        "DOCPS",
+        "--cost-model",
+        model.to_str().unwrap(),
+    ]);
+    assert!(modeled.status.success(), "modeled: {}", stderr(&modeled));
+
+    let line = |out: &Output, key: &str| -> String {
+        stdout(out)
+            .lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_default()
+            .to_string()
+    };
+    assert_eq!(line(&native, "cost model"), "cost model         analytic");
+    assert_eq!(
+        line(&modeled, "cost model"),
+        "cost model         regression"
+    );
+    // The ±2% calibration residue perturbs the materialized durations, so
+    // the same heuristic reaches a different makespan — the model really
+    // steers the schedule rather than being carried as metadata.
+    assert_ne!(
+        line(&native, "makespan"),
+        line(&modeled, "makespan"),
+        "the fitted model did not change the schedule"
+    );
+}
+
+#[test]
+fn run_accepts_the_analytic_cost_model_keyword() {
+    let scratch = ScratchDir::new("run-analytic-keyword");
+    let trace = generate_bandwidth_trace(scratch.path());
+    let trace = trace.to_str().unwrap();
+    let native = dts(&["run", trace, "OOMAMR"]);
+    assert!(native.status.success(), "native: {}", stderr(&native));
+    let forced = dts(&["run", trace, "OOMAMR", "--cost-model", "analytic"]);
+    assert!(forced.status.success(), "forced: {}", stderr(&forced));
+    // `analytic` is the normalization keyword: forcing it on a trace that
+    // carries no model is the identity, down to the output bytes.
+    assert_eq!(stdout(&native), stdout(&forced));
+    assert!(stdout(&native).contains("cost model         analytic"));
+}
+
+#[test]
+fn run_rejects_a_missing_cost_model_file() {
+    let scratch = ScratchDir::new("run-missing-model");
+    let trace = generate_one_trace(scratch.path());
+    let output = dts(&[
+        "run",
+        trace.to_str().unwrap(),
+        "OOMAMR",
+        "--cost-model",
+        "/no/such/model.json",
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let message = stderr(&output);
+    assert!(
+        message.contains("/no/such/model.json"),
+        "diagnostic does not name the file: {message:?}"
+    );
+}

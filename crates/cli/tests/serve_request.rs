@@ -107,3 +107,19 @@ fn request_surfaces_typed_daemon_errors() {
     let stderr = String::from_utf8_lossy(&out.stderr).to_string();
     assert!(stderr.contains("unknown heuristic"), "stderr: {stderr}");
 }
+
+#[test]
+fn request_reports_a_missing_trace_file_with_a_typed_code() {
+    let daemon = spawn_daemon();
+
+    // Regression: a nonexistent trace path used to surface as a bare IO
+    // error with no error code; it now carries the same `invalid-trace`
+    // code the daemon uses for unreadable trace payloads, plus the path.
+    let out = request(&daemon.addr, &["/no/such/trace.json", "OS"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("invalid-trace") && stderr.contains("/no/such/trace.json"),
+        "stderr: {stderr}"
+    );
+}

@@ -8,8 +8,9 @@
 //! implements that contract with two locks:
 //!
 //! * an outer mutex over the key map, held only to look up or insert a
-//!   cell (never across a solve), plus the FIFO eviction queue that
-//!   bounds the entry count;
+//!   cell (never across a solve), plus the LRU recency queue that bounds
+//!   the entry count — a re-requested key moves to the back, so hot
+//!   entries outlive keys requested once and never again;
 //! * a per-key cell mutex held *across the solve*: whoever acquires the
 //!   cell first and finds it empty computes the value; every concurrent
 //!   caller for the same key blocks on that cell mutex and finds the
@@ -40,9 +41,10 @@ type Cell<V> = Mutex<Option<V>>;
 
 struct Inner<K, V> {
     map: HashMap<K, Arc<Cell<V>>>,
-    /// Keys in insertion order; the front is evicted first when the map
-    /// outgrows the capacity. Entries are pushed exactly once per map
-    /// insert, so the two stay consistent.
+    /// Keys in recency order: least recently used at the front, which is
+    /// evicted first when the map outgrows the capacity. Each key appears
+    /// exactly once — pushed on insert, moved to the back on re-request —
+    /// so the queue and the map stay consistent.
     order: VecDeque<K>,
     hits: u64,
     misses: u64,
@@ -57,7 +59,7 @@ pub struct CacheStats {
     pub hits: u64,
     /// Calls that ran the solver themselves.
     pub misses: u64,
-    /// Entries dropped by the FIFO capacity bound.
+    /// Entries dropped by the LRU capacity bound.
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
@@ -127,13 +129,26 @@ impl<K: Eq + Hash + Clone, V: Clone> SolveCache<K, V> {
         Ok((value, false))
     }
 
-    /// Looks up or creates the cell of `key`, evicting the oldest entries
-    /// if the insert pushed the map over capacity. The outer lock is held
-    /// only for this bookkeeping, never across a solve.
+    /// Looks up or creates the cell of `key`, evicting the least recently
+    /// used entries if the insert pushed the map over capacity. The outer
+    /// lock is held only for this bookkeeping, never across a solve; the
+    /// LRU refresh happens inside the same critical section as the lookup,
+    /// so it adds no lock acquisitions (and no model-checker decisions).
     fn cell_for(&self, key: K) -> Arc<Cell<V>> {
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
         match inner.map.entry(key.clone()) {
-            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Occupied(e) => {
+                let cell = Arc::clone(e.get());
+                // Move the re-requested key to the back of the recency
+                // queue. O(capacity) scan, bounded by the configured entry
+                // count — fine next to a solve that costs milliseconds.
+                if let Some(pos) = inner.order.iter().position(|k| k == &key) {
+                    inner.order.remove(pos);
+                    inner.order.push_back(key);
+                }
+                cell
+            }
             Entry::Vacant(e) => {
                 let cell = Arc::new(Mutex::new(None));
                 e.insert(Arc::clone(&cell));
@@ -207,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_oldest_first() {
+    fn capacity_evicts_least_recently_used_first() {
         let cache: SolveCache<u32, u32> = SolveCache::new(2);
         for k in 0..3 {
             cache.get_or_solve(k, || Ok(k * 10)).unwrap();
@@ -222,6 +237,22 @@ mod tests {
         assert!(hit);
         let (v, hit) = cache.get_or_solve(0, || Ok(99)).unwrap();
         assert_eq!((v, hit), (99, false));
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let cache: SolveCache<u32, u32> = SolveCache::new(2);
+        cache.get_or_solve(1, || Ok(10)).unwrap();
+        cache.get_or_solve(2, || Ok(20)).unwrap();
+        // Touch key 1: under FIFO it would still be the eviction victim;
+        // under LRU the victim becomes key 2.
+        let (_, hit) = cache.get_or_solve(1, || unreachable!()).unwrap();
+        assert!(hit);
+        cache.get_or_solve(3, || Ok(30)).unwrap();
+        let (v, hit) = cache.get_or_solve(1, || unreachable!()).unwrap();
+        assert_eq!((v, hit), (10, true), "the touched key survived");
+        let (v, hit) = cache.get_or_solve(2, || Ok(99)).unwrap();
+        assert_eq!((v, hit), (99, false), "the stale key was evicted");
     }
 
     #[test]

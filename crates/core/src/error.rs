@@ -45,6 +45,13 @@ pub enum CoreError {
     /// [`CoreError::Serialization`] (which covers I/O and JSON syntax) so
     /// the strict trace importer can report *what* is wrong with the data.
     InvalidTrace(String),
+    /// A cost-model file or spec is malformed *as a cost model*, even though
+    /// it may be valid JSON: unknown format version or backend, float or
+    /// negative coefficients, empty history tables, or missing default
+    /// entries. The dual of [`CoreError::InvalidTrace`] for the
+    /// `dts-cost-model` format; [`CoreError::Serialization`] still covers
+    /// I/O and JSON syntax.
+    InvalidCostModel(String),
     /// A schedule was found infeasible; the message summarizes the first
     /// violation.
     Infeasible(String),
@@ -81,6 +88,7 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid execution model: {msg}")
             }
             CoreError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
+            CoreError::InvalidCostModel(msg) => write!(f, "invalid cost model: {msg}"),
             CoreError::Infeasible(msg) => write!(f, "infeasible schedule: {msg}"),
             CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),

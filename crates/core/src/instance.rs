@@ -3,6 +3,7 @@
 use crate::error::{CoreError, Result};
 use crate::exec::ExecutionModel;
 use crate::memory::MemSize;
+use crate::perfmodel::{ComputeBackend, CostModel, CostModelSpec, LinkClass};
 use crate::task::{Task, TaskId, TaskIntensity};
 use crate::time::Time;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
@@ -20,6 +21,9 @@ pub struct Instance {
     /// common case, and every pre-existing serialized instance) means the
     /// paper's [`ExecutionModel::Explicit`].
     model: Option<ExecutionModel>,
+    /// Cost model the task durations were materialized under; absent means
+    /// the analytic default (the durations are the trace's own numbers).
+    cost_model: Option<CostModelSpec>,
 }
 
 // Hand-written (de)serialization so the `model` key is omitted when absent
@@ -35,6 +39,9 @@ impl Serialize for Instance {
         if let Some(model) = &self.model {
             fields.push(("model".to_string(), model.to_value()));
         }
+        if let Some(cost_model) = &self.cost_model {
+            fields.push(("cost_model".to_string(), cost_model.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -45,11 +52,16 @@ impl Deserialize for Instance {
             Ok(v) => Option::<ExecutionModel>::from_value(v)?,
             Err(_) => None,
         };
+        let cost_model = match value.field("cost_model") {
+            Ok(v) => Option::<CostModelSpec>::from_value(v)?.filter(|m| !m.is_analytic()),
+            Err(_) => None,
+        };
         Ok(Instance {
             tasks: Deserialize::from_value(value.field("tasks")?)?,
             capacity: Deserialize::from_value(value.field("capacity")?)?,
             label: Deserialize::from_value(value.field("label")?)?,
             model,
+            cost_model,
         })
     }
 }
@@ -71,6 +83,7 @@ impl Instance {
             capacity,
             label,
             model: None,
+            cost_model: None,
         };
         instance.check_tasks_fit()?;
         Ok(instance)
@@ -92,6 +105,57 @@ impl Instance {
         model.validate()?;
         let mut instance = self.clone();
         instance.model = (!model.is_explicit()).then_some(model);
+        Ok(instance)
+    }
+
+    /// The cost model the task durations were materialized under;
+    /// [`CostModelSpec::Analytic`] unless one was applied with
+    /// [`Instance::with_cost_model`] (or carried by the serialized form).
+    #[inline]
+    pub fn cost_model(&self) -> CostModelSpec {
+        self.cost_model.clone().unwrap_or_default()
+    }
+
+    /// Returns a copy of this instance with every task's communication and
+    /// computation time **materialized once** from `spec`. Downstream
+    /// consumers — executors, heuristics, the O(log n) candidate index —
+    /// keep reading plain task fields and never query a model per decision.
+    ///
+    /// Applying [`CostModelSpec::Analytic`] is the identity (and keeps the
+    /// copy `Eq` to the original). A fitted model can only be applied to an
+    /// instance still carrying its analytic durations: re-modeling an
+    /// already-materialized instance would silently stack predictions on
+    /// predictions, so it is a typed error — re-apply to the source trace
+    /// instead.
+    pub fn with_cost_model(&self, spec: &CostModelSpec) -> Result<Self> {
+        spec.validate()?;
+        if spec.is_analytic() {
+            return Ok(self.clone());
+        }
+        if let Some(applied) = &self.cost_model {
+            return Err(CoreError::InvalidCostModel(format!(
+                "instance already carries a {applied} cost model; \
+                 apply the new model to the source trace instead"
+            )));
+        }
+        let mut instance = self.clone();
+        let mut sum_comm = Time::ZERO;
+        let mut sum_comp = Time::ZERO;
+        for task in &mut instance.tasks {
+            task.comm_time = spec.transfer_time(task, LinkClass::HostToDevice);
+            task.comp_time = spec.compute_time(task, ComputeBackend::Cpu);
+            sum_comm = sum_comm.checked_add(task.comm_time).ok_or_else(|| {
+                CoreError::InvalidCostModel(
+                    "modeled communication times overflow the u64 tick range".into(),
+                )
+            })?;
+            sum_comp = sum_comp.checked_add(task.comp_time).ok_or_else(|| {
+                CoreError::InvalidCostModel(
+                    "modeled computation times overflow the u64 tick range".into(),
+                )
+            })?;
+        }
+        instance.cost_model = Some(spec.clone());
         Ok(instance)
     }
 
@@ -168,6 +232,7 @@ impl Instance {
     pub fn with_capacity(&self, capacity: MemSize) -> Result<Self> {
         let mut instance = Instance::with_label(self.tasks.clone(), capacity, self.label.clone())?;
         instance.model = self.model;
+        instance.cost_model = self.cost_model.clone();
         Ok(instance)
     }
 
@@ -182,6 +247,7 @@ impl Instance {
         }
         let mut instance = Instance::with_label(tasks, self.capacity, self.label.clone())?;
         instance.model = self.model;
+        instance.cost_model = self.cost_model.clone();
         Ok(instance)
     }
 
@@ -455,6 +521,78 @@ mod tests {
         assert_eq!(inst.with_model(ExecutionModel::Explicit).unwrap(), inst);
         // Invalid models are rejected, not stored.
         assert!(inst.with_model(ExecutionModel::Streams { k: 0 }).is_err());
+    }
+
+    fn sample_regression_spec() -> CostModelSpec {
+        use crate::perfmodel::{LinearFit, RegressionModel, PS_PER_MICRO};
+        CostModelSpec::Regression(
+            RegressionModel::new(
+                vec![(
+                    LinkClass::HostToDevice,
+                    LinearFit {
+                        alpha_us: 100,
+                        beta_ps_per_byte: PS_PER_MICRO,
+                        samples: 4,
+                    },
+                )],
+                vec![(
+                    ComputeBackend::Cpu,
+                    LinearFit {
+                        alpha_us: 50,
+                        beta_ps_per_byte: 0,
+                        samples: 4,
+                    },
+                )],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn cost_model_materializes_times_once() {
+        let inst = sample();
+        assert!(inst.cost_model().is_analytic());
+        // Analytic is the identity and keeps equality.
+        let same = inst.with_cost_model(&CostModelSpec::Analytic).unwrap();
+        assert_eq!(same, inst);
+
+        let spec = sample_regression_spec();
+        let modeled = inst.with_cost_model(&spec).unwrap();
+        assert_eq!(modeled.cost_model(), spec);
+        // Task A: mem 3 bytes → comm 100 + 3 µs, comp 50 µs.
+        assert_eq!(modeled.task(TaskId(0)).comm_time, Time::from_micros(103));
+        assert_eq!(modeled.task(TaskId(0)).comp_time, Time::from_micros(50));
+        // Memory footprints (and hence feasibility) are untouched.
+        assert_eq!(modeled.task(TaskId(0)).mem, inst.task(TaskId(0)).mem);
+        // Re-modeling a materialized instance is a typed error, not a
+        // silent prediction-on-prediction stack.
+        assert!(matches!(
+            modeled.with_cost_model(&spec),
+            Err(CoreError::InvalidCostModel(_))
+        ));
+    }
+
+    #[test]
+    fn cost_model_round_trips_and_stays_absent_by_default() {
+        let inst = sample();
+        let json = serde_json::to_string(&inst).unwrap();
+        assert!(!json.contains("cost_model"));
+
+        let modeled = inst.with_cost_model(&sample_regression_spec()).unwrap();
+        let back: Instance =
+            serde_json::from_str(&serde_json::to_string(&modeled).unwrap()).unwrap();
+        assert_eq!(back, modeled);
+        assert_eq!(back.cost_model(), sample_regression_spec());
+    }
+
+    #[test]
+    fn cost_model_survives_capacity_changes_and_sub_instances() {
+        let spec = sample_regression_spec();
+        let inst = sample().with_cost_model(&spec).unwrap();
+        let resized = inst.with_capacity(MemSize::from_bytes(12)).unwrap();
+        assert_eq!(resized.cost_model(), spec);
+        let sub = inst.sub_instance(&[TaskId(2), TaskId(0)]).unwrap();
+        assert_eq!(sub.cost_model(), spec);
     }
 
     #[test]

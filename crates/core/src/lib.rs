@@ -35,6 +35,9 @@
 //! * [`feasibility`] — the feasibility checker for schedules (link and CPU
 //!   exclusivity, precedence, memory envelope),
 //! * [`memory`] — memory-occupation profiles,
+//! * [`perfmodel`] — calibrated cost models (analytic, history-based and
+//!   regression backends) with a versioned model-file format and integer
+//!   least-squares fitting,
 //! * [`simulate`] — the event-driven executors used by all heuristics
 //!   (same-order execution under a memory capacity, and the infinite-memory
 //!   executor),
@@ -58,6 +61,7 @@ pub mod instance;
 pub mod instances;
 pub mod memory;
 pub mod metrics;
+pub mod perfmodel;
 pub mod pool;
 pub mod schedule;
 pub mod simulate;
@@ -73,6 +77,7 @@ pub use hash::{Digest128, StableHasher};
 pub use index::CandidateIndex;
 pub use instance::{Instance, InstanceBuilder, InstanceStats};
 pub use memory::MemSize;
+pub use perfmodel::{ComputeBackend, CostModel, CostModelSpec, LinkClass};
 pub use schedule::{Schedule, ScheduleEntry};
 pub use task::{Task, TaskId, TaskIntensity};
 pub use time::Time;
@@ -85,6 +90,7 @@ pub mod prelude {
     pub use crate::instance::{Instance, InstanceBuilder, InstanceStats};
     pub use crate::memory::MemSize;
     pub use crate::metrics::ScheduleMetrics;
+    pub use crate::perfmodel::{ComputeBackend, CostModel, CostModelSpec, LinkClass};
     pub use crate::schedule::{Schedule, ScheduleEntry};
     pub use crate::simulate::{
         simulate_sequence, simulate_sequence_infinite, simulate_sequence_infinite_with,

@@ -135,6 +135,50 @@ fn failed_solves_are_not_cached_and_do_not_poison_waiters() {
     .expect("failure isolation must hold under all interleavings");
 }
 
+/// LRU recency is preserved under concurrency: with a capacity-2 cache
+/// holding keys 1 and 2 where key 1 was re-requested (refreshing its
+/// recency), two concurrent callers inserting key 3 evict exactly one
+/// entry — and the victim is the stale key 2, never the refreshed key 1,
+/// whatever the interleaving. Under the previous FIFO policy key 1 would
+/// have been the victim.
+#[test]
+fn concurrent_inserts_evict_the_least_recently_used_key() {
+    microloom::check(|| {
+        let cache: Arc<SolveCache<u32, u32>> = Arc::new(SolveCache::new(2));
+        // Deterministic pre-state, before any model threads exist.
+        cache.get_or_solve(1, || Ok(10)).expect("pre-fill");
+        cache.get_or_solve(2, || Ok(20)).expect("pre-fill");
+        let (_, hit) = cache.get_or_solve(1, || Ok(10)).expect("refresh");
+        assert!(hit, "the refresh touch must be a hit");
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                microloom::thread::spawn(move || {
+                    let (value, _) = cache
+                        .get_or_solve(3, || Ok(30))
+                        .expect("the solver never fails");
+                    assert_eq!(value, 30);
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("model threads join cleanly");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "the capacity bound holds");
+        assert_eq!(stats.evictions, 1, "one insert means one eviction");
+        let (value, hit) = cache.get_or_solve(1, || Ok(99)).expect("post-check");
+        assert_eq!(
+            (value, hit),
+            (10, true),
+            "the recently used key must survive the eviction"
+        );
+        let (_, hit) = cache.get_or_solve(2, || Ok(20)).expect("post-check");
+        assert!(!hit, "the stale key was the eviction victim");
+    })
+    .expect("LRU eviction order must hold under all interleavings");
+}
+
 /// The broken-lemma counterpart: a deliberately wrong "check then solve"
 /// cache (lookup and insert as two separate critical sections, no cell
 /// lock held across the solve) double-solves under some interleaving,

@@ -59,7 +59,12 @@ fn run() -> i32 {
         };
         let rel = relative(&root, &file);
         let scrubbed = scrub::scrub(&source);
-        violations.extend(rules::check_file(&rel, &scrubbed, deterministic_path(&rel)));
+        violations.extend(rules::check_file(
+            &rel,
+            &scrubbed,
+            deterministic_path(&rel),
+            decision_path(&rel),
+        ));
     }
     violations.sort();
 
@@ -223,4 +228,11 @@ fn relative(root: &Path, path: &Path) -> String {
 fn deterministic_path(rel: &str) -> bool {
     let file = rel.rsplit('/').next().unwrap_or(rel);
     file.contains("simulate") || file.contains("engine")
+}
+
+/// The heuristic decision paths guarded by L005: ordering and placement
+/// decisions must consume the durations the cost-model layer materialized
+/// into the instance, not re-derive them from raw task fields.
+fn decision_path(rel: &str) -> bool {
+    rel.starts_with("crates/heuristics/src/")
 }

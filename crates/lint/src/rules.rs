@@ -1,4 +1,4 @@
-//! The four project lints, run over scrubbed code (see [`crate::scrub`]).
+//! The five project lints, run over scrubbed code (see [`crate::scrub`]).
 //!
 //! * **L001** — `.unwrap()`, `.expect(…)` and `panic!` in non-test
 //!   library code. Test modules (`#[cfg(test)]`), `#[test]` functions and
@@ -14,6 +14,12 @@
 //! * **L004** — wall-clock or environment reads (`Instant::now`,
 //!   `SystemTime::now`, `env::var`, `env!`) inside the deterministic
 //!   engine/simulate paths, which must stay replayable byte-for-byte.
+//! * **L005** — direct `.comm_time` / `.comp_time` field reads inside the
+//!   heuristic decision paths: task durations are owned by the cost-model
+//!   layer (`dts_core::perfmodel`), which materializes them into the
+//!   instance exactly once, so decision code must take them from the
+//!   instance it was handed rather than re-deriving them ad hoc. Existing
+//!   sites are ratcheted in the baseline; new ones need a waiver.
 //!
 //! Any rule can be waived for one site with a comment on the same line
 //! or the line above: `// lint: allow(L00x) <reason>`. A waiver without
@@ -223,8 +229,14 @@ fn ident_after(line: &str, at: usize) -> Option<String> {
 }
 
 /// Runs every rule over one scrubbed file. `in_deterministic_path`
-/// enables L004 (the caller decides from the file's path).
-pub fn check_file(file: &str, scrubbed: &Scrubbed, in_deterministic_path: bool) -> Vec<Violation> {
+/// enables L004 and `in_decision_path` enables L005 (the caller decides
+/// both from the file's path).
+pub fn check_file(
+    file: &str,
+    scrubbed: &Scrubbed,
+    in_deterministic_path: bool,
+    in_decision_path: bool,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     let exempt = test_exempt_lines(&scrubbed.code);
     for (line_no, line) in scrubbed.code.iter().enumerate() {
@@ -317,6 +329,20 @@ pub fn check_file(file: &str, scrubbed: &Scrubbed, in_deterministic_path: bool) 
                 }
             }
         }
+
+        // L005: raw duration field reads in heuristic decision paths.
+        if in_decision_path && !exempt[line_no] {
+            for field in ["comm_time", "comp_time"] {
+                for at in word_positions(line, field) {
+                    if prev_non_space(line, at) == Some('.') {
+                        push(
+                            "L005",
+                            format!("direct `.{field}` read in a heuristic decision path; durations are owned by the cost-model layer (`dts_core::perfmodel`) and are materialized into the instance once — take them from there"),
+                        );
+                    }
+                }
+            }
+        }
     }
     out
 }
@@ -327,7 +353,7 @@ mod tests {
     use crate::scrub::scrub;
 
     fn run(source: &str) -> Vec<Violation> {
-        check_file("x.rs", &scrub(source), false)
+        check_file("x.rs", &scrub(source), false, false)
     }
 
     fn rules(source: &str) -> Vec<&'static str> {
@@ -388,9 +414,26 @@ mod tests {
     #[test]
     fn l004_only_fires_in_deterministic_paths() {
         let source = "let t = Instant::now();\nlet v = std::env::var(\"X\");\n";
-        assert!(check_file("x.rs", &scrub(source), false).is_empty());
-        let hits = check_file("engine.rs", &scrub(source), true);
+        assert!(check_file("x.rs", &scrub(source), false, false).is_empty());
+        let hits = check_file("engine.rs", &scrub(source), true, false);
         assert_eq!(hits.len(), 2);
         assert!(hits.iter().all(|v| v.rule == "L004"));
+    }
+
+    #[test]
+    fn l005_only_fires_on_duration_field_reads_in_decision_paths() {
+        let source = "let c = task.comm_time + task.comp_time;\n";
+        assert!(check_file("x.rs", &scrub(source), false, false).is_empty());
+        let hits = check_file("oosim.rs", &scrub(source), false, true);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|v| v.rule == "L005"));
+        // Constructor-style field *writes* and bare identifiers are not
+        // field reads.
+        let benign = "Task { comm_time, comp_time: t }\nlet comm_time = x;\n";
+        assert!(check_file("oosim.rs", &scrub(benign), false, true).is_empty());
+        // A reasoned waiver silences one site.
+        let waived =
+            "// lint: allow(L005) tie-break only, never a duration estimate\nlet c = task.comm_time;\n";
+        assert!(check_file("oosim.rs", &scrub(waived), false, true).is_empty());
     }
 }

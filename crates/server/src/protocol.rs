@@ -10,13 +10,18 @@
 //!
 //! A request selects the instance either **inline** (a full trace object
 //! under `"trace"`) or **by corpus family** (a generator spec under
-//! `"family"`), plus the heuristic to run and optional execution-model
-//! and capacity-factor overrides:
+//! `"family"`), plus the heuristic to run and optional execution-model,
+//! cost-model and capacity-factor overrides:
 //!
 //! ```json
 //! {"family": {"family": "dense-la", "n_tasks": 64, "seed": 7, "rank": 0},
 //!  "heuristic": "DOCPS", "model": "streams:2", "factor": 1.5}
 //! ```
+//!
+//! The optional `"cost_model"` field carries either a full inline
+//! dts-cost-model object or the literal string `"analytic"`; it overrides
+//! whatever cost model the trace embeds (with `"analytic"` forcing the
+//! trace's native durations) and is part of the cache key.
 //!
 //! Responses are either `{"status":"ok", "cached":…, "digest":…,
 //! "result":…}` or `{"status":"error", "code":…, "message":…}`. Every
@@ -27,6 +32,7 @@
 use dts_chem::Trace;
 use dts_core::error::CoreError;
 use dts_core::hash::{Digest128, StableHasher};
+use dts_core::perfmodel::CostModelSpec;
 use dts_core::ExecutionModel;
 use dts_heuristics::Heuristic;
 use dts_workloads::{GeneratorConfig, WorkloadFamily};
@@ -64,6 +70,8 @@ pub enum ErrorCode {
     Infeasible,
     /// Any other server-side failure.
     Internal,
+    /// The `cost_model` spec was rejected by the dts-cost-model importer.
+    InvalidCostModel,
 }
 
 impl ErrorCode {
@@ -80,6 +88,7 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::Infeasible => "infeasible",
             ErrorCode::Internal => "internal",
+            ErrorCode::InvalidCostModel => "invalid-cost-model",
         }
     }
 }
@@ -114,6 +123,7 @@ impl ErrorReply {
             CoreError::EmptyInstance | CoreError::InvalidTrace(_) => ErrorCode::InvalidTrace,
             CoreError::InvalidCapacityFactor(_) => ErrorCode::BadRequest,
             CoreError::InvalidExecutionModel(_) => ErrorCode::InvalidModel,
+            CoreError::InvalidCostModel(_) => ErrorCode::InvalidCostModel,
             CoreError::TaskExceedsCapacity { .. } | CoreError::Infeasible(_) => {
                 ErrorCode::Infeasible
             }
@@ -176,6 +186,9 @@ pub struct SolveRequest {
     pub heuristic: Heuristic,
     /// Execution-model override; `None` follows the trace/instance default.
     pub model: Option<ExecutionModel>,
+    /// Cost-model override; `None` follows whatever the trace embeds,
+    /// `Some(Analytic)` forces the trace's native durations.
+    pub cost_model: Option<CostModelSpec>,
     /// Memory-capacity factor (multiplies the minimum feasible capacity).
     pub factor: f64,
 }
@@ -225,6 +238,13 @@ impl SolveRequest {
             Some(m) => h.write_str(&m.to_string()),
             None => h.write_str("-"),
         }
+        match &self.cost_model {
+            // Hash the canonical JSON rendering: two specs collide iff
+            // they would materialize identical durations from the same
+            // trace, which is exactly when sharing a cache entry is sound.
+            Some(spec) => h.write_str(&render(&spec.to_value())),
+            None => h.write_str("-"),
+        }
         h.finish()
     }
 }
@@ -257,6 +277,21 @@ pub fn parse_request(value: &Value) -> Result<SolveRequest, ErrorReply> {
             Some(ExecutionModel::parse(&spec).map_err(|e| {
                 ErrorReply::new(ErrorCode::InvalidModel, format!("invalid model: {e}"))
             })?)
+        }
+        Err(_) => None,
+    };
+
+    let cost_model = match value.field("cost_model") {
+        Ok(v) => {
+            let spec = CostModelSpec::from_value(v).map_err(|e| {
+                ErrorReply::new(
+                    ErrorCode::InvalidCostModel,
+                    format!("invalid cost model: {e}"),
+                )
+            })?;
+            spec.validate()
+                .map_err(|e| ErrorReply::new(ErrorCode::InvalidCostModel, e.to_string()))?;
+            Some(spec)
         }
         Err(_) => None,
     };
@@ -330,6 +365,7 @@ pub fn parse_request(value: &Value) -> Result<SolveRequest, ErrorReply> {
         source,
         heuristic,
         model,
+        cost_model,
         factor,
     })
 }
@@ -421,6 +457,9 @@ pub fn request_to_value(req: &SolveRequest) -> Value {
     if let Some(model) = req.model {
         fields.push(("model".to_string(), Value::Str(model.to_string())));
     }
+    if let Some(cost_model) = &req.cost_model {
+        fields.push(("cost_model".to_string(), cost_model.to_value()));
+    }
     fields.push(("factor".to_string(), Value::Float(req.factor)));
     Value::Object(fields)
 }
@@ -428,6 +467,22 @@ pub fn request_to_value(req: &SolveRequest) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dts_core::perfmodel::{ComputeBackend, LinearFit, LinkClass, RegressionModel};
+
+    fn sample_cost_model() -> CostModelSpec {
+        let fit = |alpha_us| LinearFit {
+            alpha_us,
+            beta_ps_per_byte: 2_000_000,
+            samples: 4,
+        };
+        CostModelSpec::Regression(
+            RegressionModel::new(
+                vec![(LinkClass::HostToDevice, fit(10))],
+                vec![(ComputeBackend::Cpu, fit(5))],
+            )
+            .unwrap(),
+        )
+    }
 
     fn family_request_value() -> Value {
         let spec = Value::Object(vec![
@@ -561,6 +616,18 @@ mod tests {
         assert_ne!(d0, other.digest(), "model changes the key");
 
         let mut other = base.clone();
+        other.cost_model = Some(sample_cost_model());
+        assert_ne!(d0, other.digest(), "cost model changes the key");
+
+        let mut analytic = base.clone();
+        analytic.cost_model = Some(CostModelSpec::Analytic);
+        assert_ne!(
+            other.digest(),
+            analytic.digest(),
+            "an analytic override keys differently from a fitted one"
+        );
+
+        let mut other = base.clone();
         if let TraceSource::Family { config, .. } = &mut other.source {
             config.seed += 1;
         }
@@ -569,9 +636,34 @@ mod tests {
 
     #[test]
     fn request_value_round_trips_through_parse() {
-        let req = parse_request(&family_request_value()).unwrap();
+        let mut req = parse_request(&family_request_value()).unwrap();
         let round = parse_request(&request_to_value(&req)).unwrap();
         assert_eq!(req.digest(), round.digest());
+
+        // With both override kinds set, including the analytic keyword.
+        req.model = Some(ExecutionModel::Duplex);
+        req.cost_model = Some(sample_cost_model());
+        let round = parse_request(&request_to_value(&req)).unwrap();
+        assert_eq!(req.digest(), round.digest());
+
+        req.cost_model = Some(CostModelSpec::Analytic);
+        let round = parse_request(&request_to_value(&req)).unwrap();
+        assert_eq!(req.digest(), round.digest());
+        assert_eq!(round.cost_model, Some(CostModelSpec::Analytic));
+    }
+
+    #[test]
+    fn parse_rejects_bad_cost_models_with_a_typed_code() {
+        let mut v = family_request_value();
+        if let Value::Object(fields) = &mut v {
+            fields.push((
+                "cost_model".to_string(),
+                Value::Str("warp-drive".to_string()),
+            ));
+        }
+        let err = parse_request(&v).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidCostModel);
+        assert!(err.message.contains("warp-drive"), "{}", err.message);
     }
 
     #[test]

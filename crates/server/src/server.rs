@@ -73,7 +73,7 @@ pub struct ServerConfig {
     pub max_tasks: usize,
     /// Frame payload ceiling in bytes (`oversized-frame` beyond it).
     pub max_frame_bytes: usize,
-    /// Entry bound of the solved-instance cache (FIFO eviction).
+    /// Entry bound of the solved-instance cache (LRU eviction).
     pub cache_entries: usize,
     /// Largest batch the scheduler hands to the solver pool at once.
     pub batch_max: usize,
@@ -373,10 +373,16 @@ fn respond(shared: &Shared, job: &Job) -> String {
 /// renders the result object. The rendered string is what the cache
 /// stores, so repeats are byte-identical by construction.
 fn solve_request(request: &SolveRequest) -> CoreResult<String> {
-    let trace = match &request.source {
+    let mut trace = match &request.source {
         TraceSource::Inline(trace) => trace.clone(),
         TraceSource::Family { config, rank } => generate_trace(config, *rank)?,
     };
+    if let Some(spec) = &request.cost_model {
+        // Cost-model override: a fitted spec replaces whatever the trace
+        // embeds, and an explicit `analytic` clears it — both before the
+        // trace materializes durations into an instance.
+        trace.cost_model = (!spec.is_analytic()).then(|| spec.clone());
+    }
     let instance = trace.to_instance_scaled(request.factor)?;
     let model = match request.model {
         Some(model) => model,

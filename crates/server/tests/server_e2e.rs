@@ -27,6 +27,7 @@ fn family_request(seed: u64) -> SolveRequest {
         source: TraceSource::Family { config, rank: 0 },
         heuristic: dts_heuristics::Heuristic::from_name("DOCPS").unwrap(),
         model: None,
+        cost_model: None,
         factor: 1.5,
     }))
     .expect("valid request")
@@ -62,6 +63,7 @@ fn sample_trace(n: usize) -> Trace {
             })
             .collect(),
         model: None,
+        cost_model: None,
     }
 }
 
@@ -181,6 +183,7 @@ fn task_ceiling_is_enforced_before_solving() {
         source: TraceSource::Inline(sample_trace(9)),
         heuristic: dts_heuristics::Heuristic::from_name("OS").unwrap(),
         model: None,
+        cost_model: None,
         factor: 2.0,
     };
     let response = client.send_request(&request).unwrap();
@@ -191,6 +194,7 @@ fn task_ceiling_is_enforced_before_solving() {
         source: TraceSource::Inline(sample_trace(8)),
         heuristic: dts_heuristics::Heuristic::from_name("OS").unwrap(),
         model: None,
+        cost_model: None,
         factor: 2.0,
     };
     let response = client.send_request(&request).unwrap();
@@ -250,6 +254,7 @@ fn inline_and_family_requests_of_the_same_instance_have_distinct_digests() {
         source: TraceSource::Inline(sample_trace(6)),
         heuristic: dts_heuristics::Heuristic::from_name("GG").unwrap(),
         model: None,
+        cost_model: None,
         factor: 2.0,
     };
     let mut other_factor = inline.clone();

@@ -77,6 +77,7 @@ pub fn scenarios() -> Vec<Scenario> {
             n_tasks,
             seed,
             skew,
+            bandwidth: None,
         },
         capacity_factor,
     };
@@ -133,9 +134,21 @@ pub type CorpusMetrics = BTreeMap<String, MetricRecord>;
 
 /// Runs every scenario through every heuristic under every model.
 pub fn run_corpus() -> Result<CorpusMetrics> {
+    run_corpus_with(None)
+}
+
+/// [`run_corpus`] with an optional cost model materialized into every
+/// scenario instance first. `None` (and an explicit analytic spec) is the
+/// golden configuration; a fitted model yields a what-if view of the same
+/// suite under re-predicted durations, which the CLI prints without
+/// touching the golden ratchet.
+pub fn run_corpus_with(cost_model: Option<&CostModelSpec>) -> Result<CorpusMetrics> {
     let mut out = BTreeMap::new();
     for scenario in scenarios() {
-        let instance = scenario.instance()?;
+        let instance = match cost_model {
+            Some(spec) => scenario.instance()?.with_cost_model(spec)?,
+            None => scenario.instance()?,
+        };
         for heuristic in Heuristic::ALL {
             for model in CORPUS_MODELS {
                 let schedule = run_heuristic_with(&instance, heuristic, model)?;

@@ -162,6 +162,13 @@ pub struct GeneratorConfig {
     /// Zipf exponent of the dense-LA family. Must be `None` for every
     /// other family ([`GeneratorConfig::validate`] enforces this).
     pub skew: Option<f64>,
+    /// Modeled link bandwidth in bytes per second. When set, every task's
+    /// communication time is rewritten to its memory footprint divided by
+    /// this bandwidth, with a deterministic ±[`BANDWIDTH_JITTER_PCT`] %
+    /// measurement jitter — the size-proportional shape `dts calibrate`
+    /// recovers. `None` (the default) keeps each family's native
+    /// communication times, byte-identical to earlier builds.
+    pub bandwidth: Option<u64>,
 }
 
 impl GeneratorConfig {
@@ -172,6 +179,7 @@ impl GeneratorConfig {
             n_tasks: family.default_tasks(),
             seed: 0,
             skew: None,
+            bandwidth: None,
         }
     }
 
@@ -191,6 +199,11 @@ impl GeneratorConfig {
                 "{} tasks requested, but generated traces are capped at {MAX_TASKS}",
                 self.n_tasks
             )));
+        }
+        if self.bandwidth == Some(0) {
+            return Err(invalid(
+                "bandwidth must be a positive number of bytes per second".into(),
+            ));
         }
         match self.skew {
             Some(_) if !self.family.supports_skew() => Err(invalid(format!(
@@ -219,7 +232,7 @@ fn rank_seed(seed: u64, rank: usize) -> u64 {
 pub fn generate_trace(config: &GeneratorConfig, rank: usize) -> Result<Trace> {
     config.validate()?;
     let mut rng = StdRng::seed_from_u64(rank_seed(config.seed, rank));
-    let tasks = match config.family {
+    let mut tasks = match config.family {
         WorkloadFamily::MdLike => md_tasks(config.n_tasks, &mut rng),
         WorkloadFamily::DenseLa => dense_la_tasks(
             config.n_tasks,
@@ -245,13 +258,28 @@ pub fn generate_trace(config: &GeneratorConfig, rank: usize) -> Result<Trace> {
             &mut rng,
         ),
     };
+    if let Some(bandwidth) = config.bandwidth {
+        // The extra rng draws happen only on this opt-in path, so default
+        // generation stays byte-identical to earlier builds.
+        for task in &mut tasks {
+            let jitter = rng.gen_range(100 - BANDWIDTH_JITTER_PCT..=100 + BANDWIDTH_JITTER_PCT);
+            let micros = u128::from(task.mem_bytes) * 1_000_000 * u128::from(jitter)
+                / (u128::from(bandwidth) * 100);
+            task.comm_micros = micros.min(u128::from(u64::MAX)) as u64;
+        }
+    }
     Ok(Trace {
         kernel: config.family.kernel_label().to_string(),
         rank,
         tasks,
         model: None,
+        cost_model: None,
     })
 }
+
+/// Half-width of the deterministic measurement jitter applied to
+/// bandwidth-derived communication times, in percent.
+pub const BANDWIDTH_JITTER_PCT: u64 = 2;
 
 /// MD-like bounds, exposed so the shape-invariant tests and the generator
 /// share one source of truth: `(comm_lo, comm_hi, comp_lo, comp_hi,
@@ -537,6 +565,38 @@ mod tests {
             let instance = trace.to_instance_scaled(1.0).unwrap();
             assert_eq!(instance.len(), 50);
         }
+    }
+
+    #[test]
+    fn bandwidth_derives_comm_from_memory_with_bounded_jitter() {
+        let mut config = GeneratorConfig::new(WorkloadFamily::TransferBound);
+        config.n_tasks = 200;
+        config.seed = 13;
+        config.bandwidth = Some(1000); // 1000 B/s → mem(B) × 1000 µs
+        let trace = generate_trace(&config, 0).unwrap();
+        for task in &trace.tasks {
+            // lint: allow(L002) test expectation; mem is at most 16 bytes here
+            let base = task.mem_bytes * 1_000_000 / 1000;
+            let lo = base * (100 - BANDWIDTH_JITTER_PCT) / 100;
+            let hi = base * (100 + BANDWIDTH_JITTER_PCT) / 100;
+            assert!(
+                (lo..=hi).contains(&task.comm_micros),
+                "{}: comm {} outside [{lo}, {hi}]",
+                task.name,
+                task.comm_micros
+            );
+        }
+        // Deterministic, and distinct from the native-comm trace.
+        assert_eq!(trace, generate_trace(&config, 0).unwrap());
+        let mut native = config;
+        native.bandwidth = None;
+        assert_ne!(trace, generate_trace(&native, 0).unwrap());
+        // Zero bandwidth is a parameter error.
+        config.bandwidth = Some(0);
+        assert!(matches!(
+            generate_trace(&config, 0),
+            Err(CoreError::InvalidTrace(_))
+        ));
     }
 
     #[test]

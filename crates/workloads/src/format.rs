@@ -25,6 +25,10 @@
 //! * `model` is optional and uses the CLI spec syntax of
 //!   [`ExecutionModel::parse`] (`explicit`, `duplex`, `streams:<k>`,
 //!   `implicit[:<efficiency>]`).
+//! * `cost_model` is optional and embeds a full `dts-cost-model` file (or
+//!   the literal string `"analytic"`, which normalizes to absence); the
+//!   embedded model goes through the cost-model format's own strict
+//!   validation, surfacing as [`CoreError::InvalidCostModel`].
 //! * Every numeric field must be a non-negative JSON integer: floats
 //!   (including `1e30`-style notation), negative values and non-numeric
 //!   types are each rejected with a message naming the offending path.
@@ -44,6 +48,7 @@
 use crate::families::MAX_TASKS;
 use dts_chem::trace::TaskKind;
 use dts_chem::{Trace, TraceTask};
+use dts_core::perfmodel;
 use dts_core::prelude::*;
 use serde::Value;
 use std::collections::HashSet;
@@ -93,6 +98,14 @@ fn validate_semantics(trace: &Trace) -> Result<()> {
     if let Some(model) = trace.model {
         model.validate()?;
     }
+    if let Some(cost_model) = &trace.cost_model {
+        cost_model.validate()?;
+        if cost_model.is_analytic() {
+            return Err(CoreError::InvalidCostModel(
+                "an explicit analytic spec must be normalized to absence before export".into(),
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -113,6 +126,12 @@ pub fn export_trace(trace: &Trace) -> Result<String> {
     ];
     if let Some(model) = trace.model {
         fields.push(("model".to_string(), Value::Str(model.to_string())));
+    }
+    if let Some(cost_model) = &trace.cost_model {
+        fields.push((
+            "cost_model".to_string(),
+            perfmodel::model_value(cost_model)?,
+        ));
     }
     let tasks = trace
         .tasks
@@ -149,7 +168,15 @@ pub fn import_trace(json: &str) -> Result<Trace> {
     let fields = expect_object(&value, "trace file")?;
     check_keys(
         fields,
-        &["format", "version", "kernel", "rank", "model", "tasks"],
+        &[
+            "format",
+            "version",
+            "kernel",
+            "rank",
+            "model",
+            "cost_model",
+            "tasks",
+        ],
         "trace file",
     )?;
 
@@ -203,6 +230,16 @@ pub fn import_trace(json: &str) -> Result<Trace> {
         }
     };
 
+    let cost_model = match lookup(fields, "cost_model") {
+        None => None,
+        Some(Value::Str(s)) if s == "analytic" => None,
+        Some(value) => {
+            let spec = perfmodel::model_from_value(value)?;
+            spec.validate()?;
+            Some(spec)
+        }
+    };
+
     let tasks = match require(fields, "tasks")? {
         Value::Array(items) => items,
         other => {
@@ -229,6 +266,7 @@ pub fn import_trace(json: &str) -> Result<Trace> {
         rank,
         tasks,
         model,
+        cost_model,
     };
     validate_semantics(&trace)?;
     Ok(trace)
@@ -398,6 +436,65 @@ mod tests {
                 "re-export changed bytes"
             );
         }
+    }
+
+    #[test]
+    fn embedded_cost_models_round_trip_and_validate() {
+        use dts_core::perfmodel::{CostModelSpec, LinearFit, RegressionModel, PS_PER_MICRO};
+        use dts_core::{ComputeBackend, LinkClass};
+
+        let mut trace = sample();
+        trace.cost_model = Some(CostModelSpec::Regression(
+            RegressionModel::new(
+                vec![(
+                    LinkClass::HostToDevice,
+                    LinearFit {
+                        alpha_us: 3,
+                        beta_ps_per_byte: PS_PER_MICRO,
+                        samples: 4,
+                    },
+                )],
+                vec![(
+                    ComputeBackend::Cpu,
+                    LinearFit {
+                        alpha_us: 9,
+                        beta_ps_per_byte: 0,
+                        samples: 4,
+                    },
+                )],
+            )
+            .unwrap(),
+        ));
+        let json = export_trace(&trace).unwrap();
+        let back = import_trace(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(
+            export_trace(&back).unwrap(),
+            json,
+            "re-export changed bytes"
+        );
+
+        // The literal string "analytic" normalizes to absence.
+        let mut plain_trace = sample();
+        plain_trace.model = None;
+        let plain_json = export_trace(&plain_trace).unwrap().replacen(
+            "\"tasks\"",
+            "\"cost_model\": \"analytic\",\n  \"tasks\"",
+            1,
+        );
+        let plain = import_trace(&plain_json).unwrap();
+        assert_eq!(plain.cost_model, None);
+
+        // A malformed embedded model is a typed InvalidCostModel. The outer
+        // version stays 1; only the embedded model's version is corrupted
+        // (the embedded object is the second `"version"` occurrence).
+        let idx = json.rfind("\"version\": 1").unwrap();
+        let mut broken = json.clone();
+        broken.replace_range(idx.."\"version\": 1".len() + idx, "\"version\": 7");
+        assert!(matches!(
+            import_trace(&broken),
+            Err(CoreError::InvalidCostModel(_))
+        ));
     }
 
     #[test]

@@ -163,6 +163,7 @@ property! {
                 })
                 .collect(),
             model: None,
+            cost_model: None,
         };
         prop_assert!(
             matches!(trace.to_instance_scaled(1.0), Err(CoreError::InvalidTrace(_))),
